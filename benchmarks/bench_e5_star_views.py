@@ -1,0 +1,96 @@
+"""E5 — Figure: rewriting time vs number of views, star queries.
+
+Star queries join many subgoals on a single centre variable.  When the views
+expose the centre, rewritings exist and the algorithms differ mainly in how
+many candidate combinations they inspect; when the views hide the centre,
+property C2 lets MiniCon reject every view immediately while the bucket
+algorithm still enumerates and rejects the full Cartesian product — both
+situations appear in the figure.
+"""
+
+import time
+
+import pytest
+
+from repro.datalog.views import ViewSet
+from repro.experiments.tables import format_series
+from repro.rewriting.bucket import BucketRewriter
+from repro.rewriting.exhaustive import ExhaustiveRewriter
+from repro.rewriting.minicon import MiniConRewriter
+from repro.workloads.generators import star_query, star_views
+
+ARMS = 5
+VIEW_COUNTS = [4, 7, 10]
+
+QUERY = star_query(ARMS)
+# Views exposing the centre: single arms, adjacent pairs, and the full star.
+ALL_VIEWS = list(
+    star_views(
+        ARMS,
+        arm_subsets=[[i] for i in range(1, ARMS + 1)]
+        + [[i, i + 1] for i in range(1, ARMS)]
+        + [list(range(1, ARMS + 1))],
+        expose_center=True,
+    )
+)
+
+ALGORITHMS = {
+    "minicon": lambda views: MiniConRewriter(views),
+    "bucket": lambda views: BucketRewriter(views),
+    "exhaustive": lambda views: ExhaustiveRewriter(views),
+}
+
+
+def _views(count):
+    return ViewSet(ALL_VIEWS[:count])
+
+
+def _sweep():
+    series = {name: [] for name in ALGORITHMS}
+    for count in VIEW_COUNTS:
+        views = _views(count)
+        for name, make in ALGORITHMS.items():
+            started = time.perf_counter()
+            make(views).rewrite(QUERY)
+            series[name].append(time.perf_counter() - started)
+    return series
+
+
+def _hidden_center_sweep():
+    """The no-rewriting case: views hide the centre variable."""
+    hidden_views = star_views(ARMS, expose_center=False)
+    timings = {}
+    for name, make in ALGORITHMS.items():
+        started = time.perf_counter()
+        result = make(hidden_views).rewrite(QUERY)
+        timings[name] = (time.perf_counter() - started, result.has_equivalent)
+    return timings
+
+
+def test_e5_figure(benchmark):
+    series = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    benchmark.extra_info["experiment"] = "E5"
+    print()
+    print(
+        format_series(
+            series,
+            x_values=VIEW_COUNTS,
+            x_label="#views",
+            title=f"E5: rewriting time vs #views (star query, {ARMS} arms, seconds)",
+        )
+    )
+    hidden = _hidden_center_sweep()
+    print("\nViews hiding the centre variable (no rewriting exists):")
+    for name, (elapsed, found) in hidden.items():
+        print(f"  {name:<12} {elapsed * 1000:8.2f} ms   rewriting found: {found}")
+    assert not any(found for _, found in hidden.values())
+
+
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_e5_full_view_set(benchmark, algorithm):
+    views = _views(VIEW_COUNTS[-1])
+    rewriter = ALGORITHMS[algorithm](views)
+    result = benchmark.pedantic(rewriter.rewrite, args=(QUERY,), rounds=1, iterations=1)
+    benchmark.extra_info["experiment"] = "E5"
+    benchmark.extra_info["algorithm"] = algorithm
+    assert result.has_equivalent

@@ -1,0 +1,93 @@
+"""E6 — Figure: rewriting time vs number of views, complete (clique) queries.
+
+Complete queries use a single relation for every subgoal, so every view
+subgoal unifies with every query subgoal — the worst case for all algorithms
+and the shape on which the bucket algorithm's Cartesian product blows up
+first.  The bucket algorithm runs with a candidate cap so the figure finishes;
+the cap is reported alongside the timing.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.tables import format_series
+from repro.rewriting.bucket import BucketRewriter
+from repro.rewriting.minicon import MiniConRewriter
+from repro.workloads.generators import complete_query, complete_views
+
+SIZE = 3
+VIEW_COUNTS = [2, 4, 6, 8]
+BUCKET_CAP = 500
+
+QUERY = complete_query(SIZE)
+
+
+def _views(count, seed=0):
+    return complete_views(SIZE, num_views=count, view_size=2, seed=seed)
+
+
+def _sweep():
+    series = {"minicon": [], "bucket (capped)": []}
+    examined = {"minicon": [], "bucket (capped)": []}
+    for count in VIEW_COUNTS:
+        views = _views(count)
+        started = time.perf_counter()
+        minicon_result = MiniConRewriter(views).rewrite(QUERY)
+        series["minicon"].append(time.perf_counter() - started)
+        examined["minicon"].append(minicon_result.candidates_examined)
+
+        started = time.perf_counter()
+        bucket_result = BucketRewriter(views, max_candidates=BUCKET_CAP).rewrite(QUERY)
+        series["bucket (capped)"].append(time.perf_counter() - started)
+        examined["bucket (capped)"].append(bucket_result.candidates_examined)
+    return series, examined
+
+
+def test_e6_figure(benchmark):
+    series, examined = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    benchmark.extra_info["experiment"] = "E6"
+    benchmark.extra_info["bucket_cap"] = BUCKET_CAP
+    print()
+    print(
+        format_series(
+            series,
+            x_values=VIEW_COUNTS,
+            x_label="#views",
+            title=f"E6: rewriting time vs #views (complete query, {SIZE} variables, seconds)",
+        )
+    )
+    print()
+    print(
+        format_series(
+            {k: [float(v) for v in vals] for k, vals in examined.items()},
+            x_values=VIEW_COUNTS,
+            x_label="#views",
+            title="E6 (companion): candidate combinations examined",
+        )
+    )
+    # The bucket algorithm's candidate count grows with the number of views
+    # until it hits the safety cap — the blow-up the ablation is about.
+    bucket_counts = examined["bucket (capped)"]
+    assert bucket_counts[-1] >= bucket_counts[0]
+    assert bucket_counts[-1] >= BUCKET_CAP or bucket_counts[-1] >= examined["minicon"][-1]
+
+
+@pytest.mark.parametrize("num_views", VIEW_COUNTS)
+def test_e6_minicon(benchmark, num_views):
+    views = _views(num_views)
+    rewriter = MiniConRewriter(views)
+    result = benchmark(rewriter.rewrite, QUERY)
+    benchmark.extra_info["experiment"] = "E6"
+    benchmark.extra_info["num_views"] = num_views
+    benchmark.extra_info["rewritings"] = len(result.rewritings)
+
+
+@pytest.mark.parametrize("num_views", VIEW_COUNTS[:2])
+def test_e6_bucket(benchmark, num_views):
+    views = _views(num_views)
+    rewriter = BucketRewriter(views, max_candidates=BUCKET_CAP)
+    result = benchmark.pedantic(rewriter.rewrite, args=(QUERY,), rounds=1, iterations=1)
+    benchmark.extra_info["experiment"] = "E6"
+    benchmark.extra_info["num_views"] = num_views
+    benchmark.extra_info["candidates_examined"] = result.candidates_examined

@@ -1,0 +1,9 @@
+"""Thin setuptools shim.
+
+The project is fully described in ``pyproject.toml``; this file exists so
+that editable installs work in offline environments where the ``wheel``
+package (required by PEP 660 editable builds) is unavailable.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,154 @@
+"""repro — Answering Queries Using Views (PODS 1995).
+
+A library for rewriting conjunctive queries using materialized views:
+containment and equivalence testing, complete and maximally-contained
+rewritings (exhaustive / bucket / MiniCon / inverse-rules algorithms),
+certain-answer computation, and an in-memory relational engine for verifying
+and costing the plans.
+
+Quickstart
+----------
+>>> from repro import parse_query, parse_views, rewrite
+>>> query = parse_query("q(S) :- enrolled(S, C), taught_by(C, 'smith').")
+>>> views = parse_views(
+...     "v_smith(S1) :- enrolled(S1, C1), taught_by(C1, 'smith')."
+... )
+>>> result = rewrite(query, views, algorithm="minicon")
+>>> result.has_equivalent
+True
+"""
+
+from repro.errors import (
+    EvaluationError,
+    ParseError,
+    QueryConstructionError,
+    ReproError,
+    RewritingError,
+    SchemaError,
+    UnsafeQueryError,
+    UnsupportedFeatureError,
+)
+from repro.datalog import (
+    Atom,
+    Comparison,
+    ComparisonOperator,
+    ConjunctiveQuery,
+    Constant,
+    FunctionTerm,
+    Substitution,
+    UnionQuery,
+    Variable,
+    View,
+    ViewSet,
+    parse_atom,
+    parse_database,
+    parse_program,
+    parse_query,
+    parse_view,
+    parse_views,
+    to_datalog,
+)
+from repro.containment import (
+    is_contained,
+    is_equivalent,
+    is_satisfiable,
+    minimize,
+)
+from repro.engine import (
+    Database,
+    DatalogProgram,
+    estimate_cost,
+    evaluate,
+    evaluate_boolean,
+    evaluate_program,
+    materialize_views,
+    measured_cost,
+)
+from repro.rewriting import (
+    BucketRewriter,
+    ExhaustiveRewriter,
+    InverseRulesRewriter,
+    MiniConRewriter,
+    OptimizationResult,
+    PlanChoice,
+    Rewriting,
+    RewritingKind,
+    RewritingResult,
+    certain_answers,
+    choose_best_plan,
+    enumerate_plans,
+    expand_rewriting,
+    is_complete_rewriting,
+    is_contained_rewriting,
+    maximally_contained_rewriting,
+    partial_rewritings,
+    rewrite,
+    view_is_relevant,
+    view_is_usable,
+    view_is_useful,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "BucketRewriter",
+    "Comparison",
+    "ComparisonOperator",
+    "ConjunctiveQuery",
+    "Constant",
+    "Database",
+    "DatalogProgram",
+    "EvaluationError",
+    "ExhaustiveRewriter",
+    "FunctionTerm",
+    "InverseRulesRewriter",
+    "MiniConRewriter",
+    "OptimizationResult",
+    "ParseError",
+    "PlanChoice",
+    "QueryConstructionError",
+    "ReproError",
+    "Rewriting",
+    "RewritingError",
+    "RewritingKind",
+    "RewritingResult",
+    "SchemaError",
+    "Substitution",
+    "UnionQuery",
+    "UnsafeQueryError",
+    "UnsupportedFeatureError",
+    "Variable",
+    "View",
+    "ViewSet",
+    "certain_answers",
+    "choose_best_plan",
+    "enumerate_plans",
+    "estimate_cost",
+    "evaluate",
+    "evaluate_boolean",
+    "evaluate_program",
+    "expand_rewriting",
+    "is_complete_rewriting",
+    "is_contained",
+    "is_contained_rewriting",
+    "is_equivalent",
+    "is_satisfiable",
+    "materialize_views",
+    "maximally_contained_rewriting",
+    "measured_cost",
+    "minimize",
+    "parse_atom",
+    "parse_database",
+    "parse_program",
+    "parse_query",
+    "parse_view",
+    "parse_views",
+    "partial_rewritings",
+    "rewrite",
+    "to_datalog",
+    "view_is_relevant",
+    "view_is_usable",
+    "view_is_useful",
+    "__version__",
+]

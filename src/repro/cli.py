@@ -1,0 +1,169 @@
+"""Command-line interface.
+
+The CLI exposes the library's main entry points for quick experimentation
+without writing Python:
+
+``python -m repro rewrite``
+    Rewrite a query using views and print the plans found.
+``python -m repro answer``
+    Evaluate a query (directly, or through its rewriting) over a database of
+    facts.
+``python -m repro certain``
+    Compute certain answers from materialized view instances.
+``python -m repro experiments``
+    List the reproduced experiments (E1..E10) and the bench that regenerates
+    each.
+
+Queries and views are given inline or in files, in the datalog syntax of
+:mod:`repro.datalog.parser`; databases are files of ground facts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.datalog.parser import parse_database, parse_query, parse_views
+from repro.engine.database import Database
+from repro.engine.evaluate import evaluate, materialize_views
+from repro.experiments.registry import all_experiments
+from repro.rewriting.certain import certain_answers
+from repro.rewriting.rewriter import ALGORITHMS, MODES, rewrite
+
+
+def _read_text(value: str) -> str:
+    """Interpret an argument as a file path if one exists, else as inline text."""
+    path = Path(value)
+    if path.exists() and path.is_file():
+        return path.read_text()
+    return value
+
+
+def _load_database(value: str) -> Database:
+    return Database.from_atoms(parse_database(_read_text(value)))
+
+
+def _command_rewrite(args: argparse.Namespace, out) -> int:
+    query = parse_query(_read_text(args.query))
+    views = parse_views(_read_text(args.views))
+    result = rewrite(query, views, algorithm=args.algorithm, mode=args.mode)
+    print(f"# query: {query}", file=out)
+    print(f"# algorithm={args.algorithm} mode={args.mode} "
+          f"candidates={result.candidates_examined} time={result.elapsed:.4f}s", file=out)
+    if not result.rewritings:
+        print("no rewriting found", file=out)
+        return 1
+    for index, rewriting in enumerate(result.rewritings, start=1):
+        print(f"-- rewriting {index} [{rewriting.kind.value}] "
+              f"(views: {', '.join(rewriting.views_used)})", file=out)
+        print(rewriting.query, file=out)
+        if args.show_expansion and rewriting.expansion is not None:
+            print(f"   expansion: {rewriting.expansion}", file=out)
+    return 0
+
+
+def _command_answer(args: argparse.Namespace, out) -> int:
+    query = parse_query(_read_text(args.query))
+    database = _load_database(args.database)
+    if args.views:
+        views = parse_views(_read_text(args.views))
+        result = rewrite(query, views, algorithm=args.algorithm, mode="equivalent")
+        if result.best is None:
+            print("no equivalent rewriting found; evaluating the query directly", file=out)
+            answers = evaluate(query, database)
+        else:
+            print(f"# using rewriting: {result.best.query}", file=out)
+            instance = materialize_views(views, database)
+            answers = evaluate(result.best.query, instance)
+    else:
+        answers = evaluate(query, database)
+    for row in sorted(answers, key=repr):
+        print("\t".join(str(value) for value in row), file=out)
+    print(f"# {len(answers)} answers", file=out)
+    return 0
+
+
+def _command_certain(args: argparse.Namespace, out) -> int:
+    query = parse_query(_read_text(args.query))
+    views = parse_views(_read_text(args.views))
+    instance = _load_database(args.view_instance)
+    answers = certain_answers(query, views, instance, method=args.method)
+    for row in sorted(answers, key=repr):
+        print("\t".join(str(value) for value in row), file=out)
+    print(f"# {len(answers)} certain answers ({args.method})", file=out)
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace, out) -> int:
+    for experiment in all_experiments():
+        print(f"{experiment.id:<4} [{experiment.artefact:<6}] {experiment.title}", file=out)
+        print(f"     claim : {experiment.claim}", file=out)
+        print(f"     bench : {experiment.bench_module}", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Answering Queries Using Views (PODS 1995) — query rewriting toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    rewrite_parser = subparsers.add_parser("rewrite", help="rewrite a query using views")
+    rewrite_parser.add_argument("--query", required=True, help="query text or file")
+    rewrite_parser.add_argument("--views", required=True, help="view definitions text or file")
+    rewrite_parser.add_argument("--algorithm", choices=ALGORITHMS, default="minicon")
+    rewrite_parser.add_argument("--mode", choices=MODES, default="equivalent")
+    rewrite_parser.add_argument(
+        "--show-expansion", action="store_true", help="also print each rewriting's expansion"
+    )
+    rewrite_parser.set_defaults(handler=_command_rewrite)
+
+    answer_parser = subparsers.add_parser("answer", help="evaluate a query over a database")
+    answer_parser.add_argument("--query", required=True)
+    answer_parser.add_argument("--database", required=True, help="facts text or file")
+    answer_parser.add_argument(
+        "--views", help="optional views: answer through an equivalent rewriting instead"
+    )
+    answer_parser.add_argument("--algorithm", choices=ALGORITHMS, default="minicon")
+    answer_parser.set_defaults(handler=_command_answer)
+
+    certain_parser = subparsers.add_parser(
+        "certain", help="certain answers from materialized view instances"
+    )
+    certain_parser.add_argument("--query", required=True)
+    certain_parser.add_argument("--views", required=True)
+    certain_parser.add_argument(
+        "--view-instance", required=True, help="facts over the view relations (text or file)"
+    )
+    certain_parser.add_argument(
+        "--method",
+        choices=["inverse-rules", "rewriting", "minicon", "bucket"],
+        default="inverse-rules",
+    )
+    certain_parser.set_defaults(handler=_command_certain)
+
+    experiments_parser = subparsers.add_parser(
+        "experiments", help="list the reproduced experiments"
+    )
+    experiments_parser.set_defaults(handler=_command_experiments)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

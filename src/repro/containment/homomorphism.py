@@ -1,0 +1,112 @@
+"""Containment mappings (homomorphisms) between conjunctive queries.
+
+A *containment mapping* from query ``Q2`` to query ``Q1`` is a substitution
+``h`` on the variables of ``Q2`` such that
+
+* ``h`` maps the head of ``Q2`` onto the head of ``Q1`` (argument by
+  argument), and
+* every body subgoal of ``Q2`` is mapped by ``h`` onto some body subgoal of
+  ``Q1``.
+
+By the Chandra–Merlin theorem, for pure conjunctive queries ``Q1 ⊑ Q2`` holds
+iff such a mapping exists.  The search below is a straightforward backtracking
+procedure with two standard optimizations: subgoals with the fewest candidate
+targets are mapped first, and candidate target atoms are pre-filtered by
+predicate and constant positions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.datalog.atoms import Atom
+from repro.datalog.queries import ConjunctiveQuery
+from repro.datalog.substitution import Substitution, match_atom
+from repro.datalog.terms import Constant, Term, Variable
+
+
+def _head_seed(source: ConjunctiveQuery, target: ConjunctiveQuery) -> Optional[Substitution]:
+    """The substitution forced by mapping source's head onto target's head."""
+    if source.head.predicate != target.head.predicate:
+        return None
+    if len(source.head.args) != len(target.head.args):
+        return None
+    return match_atom(source.head, target.head)
+
+
+def homomorphisms(
+    source_atoms: Sequence[Atom],
+    target_atoms: Sequence[Atom],
+    seed: Optional[Substitution] = None,
+) -> Iterator[Substitution]:
+    """All substitutions mapping every atom of ``source_atoms`` into ``target_atoms``.
+
+    ``seed`` fixes the image of some variables in advance (typically the head
+    variables).  The same target atom may serve as the image of several source
+    atoms (homomorphisms need not be injective).
+    """
+    seed = seed if seed is not None else Substitution.empty()
+
+    # Pre-compute candidate target atoms per source atom (by predicate/arity).
+    candidates: List[List[Atom]] = []
+    for atom in source_atoms:
+        options = [t for t in target_atoms if t.signature == atom.signature]
+        candidates.append(options)
+        if not options:
+            return
+
+    # Map the most constrained subgoals first.
+    order = sorted(range(len(source_atoms)), key=lambda i: len(candidates[i]))
+
+    def extend(position: int, substitution: Substitution) -> Iterator[Substitution]:
+        if position == len(order):
+            yield substitution
+            return
+        index = order[position]
+        atom = source_atoms[index]
+        for target in candidates[index]:
+            extended = match_atom(atom, target, substitution)
+            if extended is not None:
+                yield from extend(position + 1, extended)
+
+    yield from extend(0, seed)
+
+
+def find_homomorphism(
+    source_atoms: Sequence[Atom],
+    target_atoms: Sequence[Atom],
+    seed: Optional[Substitution] = None,
+) -> Optional[Substitution]:
+    """The first homomorphism found, or ``None``."""
+    for substitution in homomorphisms(source_atoms, target_atoms, seed):
+        return substitution
+    return None
+
+
+def containment_mappings(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> Iterator[Substitution]:
+    """All containment mappings from ``source`` to ``target``.
+
+    The existence of such a mapping witnesses ``target ⊑ source`` (for pure
+    conjunctive queries).  Head compatibility is required: the heads must
+    share predicate name and arity, and head constants must agree.
+    """
+    seed = _head_seed(source, target)
+    if seed is None:
+        return
+    yield from homomorphisms(source.body, target.body, seed)
+
+
+def find_containment_mapping(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> Optional[Substitution]:
+    """The first containment mapping from ``source`` to ``target``, or ``None``."""
+    for mapping in containment_mappings(source, target):
+        return mapping
+    return None
+
+
+def count_containment_mappings(source: ConjunctiveQuery, target: ConjunctiveQuery) -> int:
+    """The number of distinct containment mappings (useful for tests/diagnostics)."""
+    return sum(1 for _ in containment_mappings(source, target))

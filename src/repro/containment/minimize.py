@@ -1,0 +1,76 @@
+"""Minimization of conjunctive queries (computing cores).
+
+A conjunctive query is *minimal* when no body subgoal can be removed without
+changing its meaning.  Chandra and Merlin showed every CQ has a unique minimal
+equivalent (its core) up to variable renaming; the paper relies on minimality
+when counting subgoals for the rewriting-length bound, and the rewriting
+algorithms minimize their outputs so that redundant view atoms do not inflate
+the plans that get evaluated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.datalog.queries import ConjunctiveQuery
+from repro.containment.containment import is_equivalent
+
+
+def _try_remove(query: ConjunctiveQuery, index: int) -> Optional[ConjunctiveQuery]:
+    """The query with subgoal ``index`` removed, if that removal is legal.
+
+    Removal is illegal when it would leave a head or comparison variable
+    unbound (an unsafe query); such a subgoal can never be redundant.
+    """
+    body = query.body[:index] + query.body[index + 1:]
+    remaining_vars = set()
+    for atom in body:
+        remaining_vars.update(atom.variables())
+    for var in query.head.variables():
+        if var not in remaining_vars:
+            return None
+    for comparison in query.comparisons:
+        for var in comparison.variables():
+            if var not in remaining_vars:
+                return None
+    if not body and query.head.variables():
+        return None
+    return query.with_body(body, require_safe=False)
+
+
+def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """A minimal conjunctive query equivalent to ``query``.
+
+    Subgoals are removed greedily: a subgoal is dropped whenever the reduced
+    query is still equivalent to the original.  Because containment between
+    the reduced and the original query only needs to be checked in one
+    direction (dropping subgoals can only enlarge the result), the test uses
+    full equivalence for robustness in the presence of comparisons.
+    """
+    current = query
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(current.body)):
+            candidate = _try_remove(current, index)
+            if candidate is None:
+                continue
+            if is_equivalent(candidate, query):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+def is_minimal(query: ConjunctiveQuery) -> bool:
+    """Whether no subgoal of ``query`` can be removed."""
+    for index in range(len(query.body)):
+        candidate = _try_remove(query, index)
+        if candidate is not None and is_equivalent(candidate, query):
+            return False
+    return True
+
+
+def core_size(query: ConjunctiveQuery) -> int:
+    """The number of subgoals of the minimized query."""
+    return minimize(query).size()

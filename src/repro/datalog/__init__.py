@@ -1,0 +1,57 @@
+"""Datalog / conjunctive-query representation layer.
+
+This package contains the symbolic substrate on which the whole library is
+built: terms, atoms, comparison predicates, conjunctive queries, unions of
+conjunctive queries, views, substitutions and unification, a small text
+parser, and pretty-printing.
+
+The representation follows the conventions of the PODS'95 paper: a
+conjunctive query has a *head* (the answer atom whose arguments are the
+distinguished variables), a *body* of ordinary relational subgoals, and an
+optional conjunction of built-in comparison subgoals.
+"""
+
+from repro.datalog.terms import Constant, FunctionTerm, Term, Variable
+from repro.datalog.atoms import Atom, Comparison, ComparisonOperator
+from repro.datalog.substitution import Substitution, unify_atoms, unify_terms
+from repro.datalog.queries import ConjunctiveQuery, UnionQuery
+from repro.datalog.views import View, ViewSet
+from repro.datalog.freshen import FreshVariableFactory, rename_apart
+from repro.datalog.parser import (
+    parse_atom,
+    parse_database,
+    parse_program,
+    parse_query,
+    parse_view,
+    parse_views,
+)
+from repro.datalog.printer import to_datalog
+from repro.datalog.canonical import canonical_database, freeze_query
+
+__all__ = [
+    "Atom",
+    "Comparison",
+    "ComparisonOperator",
+    "ConjunctiveQuery",
+    "Constant",
+    "FreshVariableFactory",
+    "FunctionTerm",
+    "Substitution",
+    "Term",
+    "UnionQuery",
+    "Variable",
+    "View",
+    "ViewSet",
+    "canonical_database",
+    "freeze_query",
+    "parse_atom",
+    "parse_database",
+    "parse_program",
+    "parse_query",
+    "parse_view",
+    "parse_views",
+    "rename_apart",
+    "to_datalog",
+    "unify_atoms",
+    "unify_terms",
+]

@@ -1,0 +1,90 @@
+"""Canonical (frozen) databases of conjunctive queries.
+
+The canonical database of a query *freezes* each variable into a distinct
+fresh constant and turns the body into a set of ground facts.  It is the
+standard tool behind the Chandra–Merlin containment test: ``Q1 ⊑ Q2`` iff the
+frozen head of ``Q1`` is an answer of ``Q2`` over the canonical database of
+``Q1``.  The rewriting algorithms also use frozen queries to test candidate
+rewritings and to compute certain answers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.datalog.atoms import Atom
+from repro.datalog.queries import ConjunctiveQuery
+from repro.datalog.substitution import Substitution
+from repro.datalog.terms import Constant, Term, Variable
+
+#: Prefix used for frozen constants so they cannot clash with user constants.
+FROZEN_PREFIX = "@frozen:"
+
+
+def freeze_variable(variable: Variable, tag: str = "") -> Constant:
+    """The frozen constant standing for a query variable.
+
+    A non-empty ``tag`` namespaces the constant (``@frozen:tag:X``) so that
+    frozen constants of different queries never collide.
+    """
+    if tag:
+        return Constant(f"{FROZEN_PREFIX}{tag}:{variable.name}")
+    return Constant(f"{FROZEN_PREFIX}{variable.name}")
+
+
+def is_frozen_constant(term: Term) -> bool:
+    """Whether a term is one of the constants introduced by freezing."""
+    return isinstance(term, Constant) and isinstance(term.value, str) and term.value.startswith(
+        FROZEN_PREFIX
+    )
+
+
+def freezing_substitution(query: ConjunctiveQuery, tag: str = "") -> Substitution:
+    """The substitution mapping each variable of ``query`` to its frozen constant."""
+    return Substitution({v: freeze_variable(v, tag) for v in query.variables()})
+
+
+def freeze_query(
+    query: ConjunctiveQuery, tag: str = ""
+) -> Tuple[Atom, List[Atom], Substitution]:
+    """Freeze a query into (frozen head, frozen body facts, freezing substitution).
+
+    The optional ``tag`` keeps frozen constants of different queries distinct
+    when several canonical databases are combined.
+    """
+    substitution = freezing_substitution(query, tag)
+    frozen_head = substitution.apply_atom(query.head)
+    frozen_body = [substitution.apply_atom(atom) for atom in query.body]
+    return frozen_head, frozen_body, substitution
+
+
+def canonical_database(query: ConjunctiveQuery, tag: str = ""):
+    """The canonical database of ``query`` as an engine :class:`Database`.
+
+    Imported lazily to keep the datalog layer independent of the engine
+    package at import time.
+    """
+    from repro.engine.database import Database
+
+    _, facts, _ = freeze_query(query, tag)
+    return Database.from_atoms(facts)
+
+
+def unfreeze_term(term: Term) -> Term:
+    """Map a frozen constant back to the variable it stands for.
+
+    Ordinary constants and variables pass through unchanged.
+    """
+    if is_frozen_constant(term):
+        assert isinstance(term, Constant) and isinstance(term.value, str)
+        name = term.value[len(FROZEN_PREFIX):]
+        # Drop a namespacing tag of the form "tag:" if present.
+        if ":" in name:
+            name = name.rsplit(":", 1)[1]
+        return Variable(name)
+    return term
+
+
+def unfreeze_atom(atom: Atom) -> Atom:
+    """Unfreeze every argument of an atom."""
+    return atom.with_args(tuple(unfreeze_term(t) for t in atom.args))

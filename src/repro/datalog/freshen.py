@@ -1,0 +1,86 @@
+"""Fresh-variable generation and renaming queries apart.
+
+Rewriting algorithms constantly need variables that are guaranteed not to
+clash with variables already in play (view expansion, canonical rewritings,
+inverse rules with Skolem terms).  :class:`FreshVariableFactory` centralizes
+that concern.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Set
+
+from repro.datalog.substitution import Substitution
+from repro.datalog.terms import Variable
+
+
+class FreshVariableFactory:
+    """Produces variables with names not used anywhere in a given context.
+
+    Parameters
+    ----------
+    reserved:
+        Variable names (or variables) that must never be produced.
+    prefix:
+        Prefix of generated names; generated variables look like ``_F1``,
+        ``_F2``, ... by default.
+    """
+
+    def __init__(self, reserved: Iterable["Variable | str"] = (), prefix: str = "_F"):
+        self._prefix = prefix
+        self._used: Set[str] = set()
+        self._counter = itertools.count(1)
+        self.reserve(reserved)
+
+    def reserve(self, items: Iterable["Variable | str"]) -> None:
+        """Mark additional names as unavailable."""
+        for item in items:
+            self._used.add(item.name if isinstance(item, Variable) else str(item))
+
+    def fresh(self, hint: str = "") -> Variable:
+        """A variable whose name has never been produced or reserved.
+
+        ``hint`` is incorporated into the name for readability when possible
+        (e.g. ``fresh("X")`` may produce ``X_1``).
+        """
+        if hint:
+            candidate = hint
+            if candidate not in self._used:
+                self._used.add(candidate)
+                return Variable(candidate)
+            for i in itertools.count(1):
+                candidate = f"{hint}_{i}"
+                if candidate not in self._used:
+                    self._used.add(candidate)
+                    return Variable(candidate)
+        while True:
+            candidate = f"{self._prefix}{next(self._counter)}"
+            if candidate not in self._used:
+                self._used.add(candidate)
+                return Variable(candidate)
+
+    def fresh_many(self, count: int, hint: str = "") -> Iterator[Variable]:
+        """Generate ``count`` fresh variables."""
+        for _ in range(count):
+            yield self.fresh(hint)
+
+
+def rename_apart(
+    variables: Iterable[Variable],
+    avoid: Iterable[Variable],
+    factory: "FreshVariableFactory | None" = None,
+) -> Substitution:
+    """A renaming of ``variables`` that avoids clashing with ``avoid``.
+
+    Only variables that actually clash are renamed; the result is a
+    substitution suitable for applying to the query owning ``variables``.
+    """
+    avoid_names = {v.name for v in avoid}
+    if factory is None:
+        factory = FreshVariableFactory(reserved=avoid_names | {v.name for v in variables})
+    mapping = {}
+    for var in variables:
+        if var.name in avoid_names:
+            mapping[var] = factory.fresh(var.name)
+    return Substitution(mapping)

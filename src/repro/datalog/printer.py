@@ -1,0 +1,65 @@
+"""Pretty-printing of queries, views and databases in datalog syntax.
+
+The printed form round-trips through :mod:`repro.datalog.parser`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.datalog.atoms import Atom, Comparison
+from repro.datalog.queries import ConjunctiveQuery, UnionQuery
+from repro.datalog.views import View, ViewSet
+
+
+def atom_to_datalog(atom: Atom) -> str:
+    """Render a single atom, e.g. ``cites(X, 'smith')``."""
+    return str(atom)
+
+
+def comparison_to_datalog(comparison: Comparison) -> str:
+    """Render a single comparison, e.g. ``X < 5``."""
+    return str(comparison)
+
+
+def query_to_datalog(query: ConjunctiveQuery) -> str:
+    """Render a conjunctive query as a single datalog rule."""
+    parts = [str(atom) for atom in query.body]
+    parts.extend(str(c) for c in query.comparisons)
+    if not parts:
+        return f"{query.head}."
+    return f"{query.head} :- {', '.join(parts)}."
+
+
+def union_to_datalog(query: UnionQuery) -> str:
+    """Render a union query as one rule per disjunct."""
+    return "\n".join(query_to_datalog(q) for q in query.disjuncts)
+
+
+def view_to_datalog(view: View) -> str:
+    """Render a view definition (identical to its defining rule)."""
+    return query_to_datalog(view.definition)
+
+
+def views_to_datalog(views: "ViewSet | Iterable[View]") -> str:
+    """Render a collection of views, one rule per line."""
+    return "\n".join(view_to_datalog(v) for v in views)
+
+
+def to_datalog(
+    obj: Union[Atom, Comparison, ConjunctiveQuery, UnionQuery, View, ViewSet],
+) -> str:
+    """Render any datalog-layer object in parser-compatible text form."""
+    if isinstance(obj, ConjunctiveQuery):
+        return query_to_datalog(obj)
+    if isinstance(obj, UnionQuery):
+        return union_to_datalog(obj)
+    if isinstance(obj, View):
+        return view_to_datalog(obj)
+    if isinstance(obj, ViewSet):
+        return views_to_datalog(obj)
+    if isinstance(obj, Atom):
+        return atom_to_datalog(obj)
+    if isinstance(obj, Comparison):
+        return comparison_to_datalog(obj)
+    raise TypeError(f"cannot render object of type {type(obj).__name__}")

@@ -1,0 +1,247 @@
+"""Substitutions and unification over terms and atoms.
+
+A substitution maps variables to terms.  Substitutions are the basic tool of
+every algorithm in the library: containment mappings are substitutions from
+one query's variables into another query's terms, view expansion applies a
+substitution from view head variables to rewriting terms, MiniCon descriptions
+carry partial substitutions, and so on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple, Union
+
+from repro.datalog.atoms import Atom, Comparison
+from repro.datalog.terms import Constant, FunctionTerm, Term, Variable, term_variables
+
+
+class Substitution(Mapping[Variable, Term]):
+    """An immutable mapping from variables to terms.
+
+    Applying a substitution replaces each variable in its domain with the
+    associated term; variables outside the domain are left untouched.  The
+    mapping interface (``len``, ``iter``, ``[]``) is over the domain.
+    """
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Optional[Mapping[Variable, Term]] = None):
+        items: Dict[Variable, Term] = {}
+        if mapping:
+            for var, term in mapping.items():
+                if not isinstance(var, Variable):
+                    raise TypeError(f"substitution keys must be variables, got {var!r}")
+                if not isinstance(term, Term):
+                    raise TypeError(f"substitution values must be terms, got {term!r}")
+                items[var] = term
+        self._mapping: Dict[Variable, Term] = items
+
+    # -- Mapping protocol ----------------------------------------------------
+    def __getitem__(self, var: Variable) -> Term:
+        return self._mapping[var]
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._mapping)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Substitution):
+            return self._mapping == other._mapping
+        if isinstance(other, Mapping):
+            return dict(self._mapping) == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._mapping.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v}: {t}" for v, t in sorted(self._mapping.items(), key=lambda p: p[0].name))
+        return f"{{{inner}}}"
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "Substitution":
+        return cls()
+
+    @classmethod
+    def of(cls, **bindings: Union[str, int, float, bool, Term]) -> "Substitution":
+        """Build a substitution from keyword arguments.
+
+        Keys are variable names, values are coerced with the usual
+        variable/constant convention (capitalised strings become variables).
+        """
+        from repro.datalog.terms import make_term
+
+        return cls({Variable(name): make_term(value) for name, value in bindings.items()})
+
+    def bind(self, var: Variable, term: Term) -> "Substitution":
+        """A new substitution extending this one with ``var -> term``.
+
+        Raises ``ValueError`` if ``var`` is already bound to a different term.
+        """
+        existing = self._mapping.get(var)
+        if existing is not None:
+            if existing == term:
+                return self
+            raise ValueError(f"variable {var} already bound to {existing}, cannot rebind to {term}")
+        new = dict(self._mapping)
+        new[var] = term
+        return Substitution(new)
+
+    def merge(self, other: "Substitution") -> Optional["Substitution"]:
+        """The union of two substitutions, or ``None`` if they conflict."""
+        merged = dict(self._mapping)
+        for var, term in other.items():
+            existing = merged.get(var)
+            if existing is None:
+                merged[var] = term
+            elif existing != term:
+                return None
+        return Substitution(merged)
+
+    def compose(self, other: "Substitution") -> "Substitution":
+        """The composition ``self  then  other``.
+
+        Applying the result is the same as applying ``self`` first and then
+        ``other``: ``(self.compose(other))(t) == other(self(t))``.
+        """
+        composed: Dict[Variable, Term] = {}
+        for var, term in self._mapping.items():
+            composed[var] = other.apply_term(term)
+        for var, term in other.items():
+            composed.setdefault(var, term)
+        return Substitution(composed)
+
+    def restrict(self, variables: Iterable[Variable]) -> "Substitution":
+        """The substitution restricted to the given domain variables."""
+        keep = set(variables)
+        return Substitution({v: t for v, t in self._mapping.items() if v in keep})
+
+    def without(self, variables: Iterable[Variable]) -> "Substitution":
+        """The substitution with the given variables removed from the domain."""
+        drop = set(variables)
+        return Substitution({v: t for v, t in self._mapping.items() if v not in drop})
+
+    # -- application -----------------------------------------------------------
+    def apply_term(self, term: Term) -> Term:
+        if isinstance(term, Variable):
+            return self._mapping.get(term, term)
+        if isinstance(term, FunctionTerm):
+            return FunctionTerm(term.function, tuple(self.apply_term(a) for a in term.args))
+        return term
+
+    def apply_atom(self, atom: Atom) -> Atom:
+        return atom.with_args(tuple(self.apply_term(t) for t in atom.args))
+
+    def apply_comparison(self, comparison: Comparison) -> Comparison:
+        return Comparison(
+            self.apply_term(comparison.left),
+            comparison.op,
+            self.apply_term(comparison.right),
+        )
+
+    def apply_atoms(self, atoms: Iterable[Atom]) -> Tuple[Atom, ...]:
+        return tuple(self.apply_atom(a) for a in atoms)
+
+    def apply_comparisons(self, comparisons: Iterable[Comparison]) -> Tuple[Comparison, ...]:
+        return tuple(self.apply_comparison(c) for c in comparisons)
+
+    # -- inspection -----------------------------------------------------------
+    def is_renaming(self) -> bool:
+        """True when the substitution maps variables injectively to variables."""
+        values = list(self._mapping.values())
+        if not all(isinstance(v, Variable) for v in values):
+            return False
+        return len(set(values)) == len(values)
+
+    def inverse(self) -> Optional["Substitution"]:
+        """The inverse of a renaming substitution, or ``None`` if not a renaming."""
+        if not self.is_renaming():
+            return None
+        return Substitution({t: v for v, t in self._mapping.items() if isinstance(t, Variable)})
+
+
+def unify_terms(
+    left: Term, right: Term, substitution: Optional[Substitution] = None
+) -> Optional[Substitution]:
+    """Most general unifier of two terms, extending an existing substitution.
+
+    The unifier treats both sides symmetrically: variables on either side may
+    be bound.  Returns ``None`` when unification fails.
+    """
+    subst = substitution if substitution is not None else Substitution.empty()
+    left = subst.apply_term(left)
+    right = subst.apply_term(right)
+    if left == right:
+        return subst
+    if isinstance(left, Variable):
+        if left in term_variables(right):
+            return None  # occurs check
+        return _extend(subst, left, right)
+    if isinstance(right, Variable):
+        if right in term_variables(left):
+            return None  # occurs check
+        return _extend(subst, right, left)
+    if isinstance(left, FunctionTerm) and isinstance(right, FunctionTerm):
+        if left.function != right.function or len(left.args) != len(right.args):
+            return None
+        for l_arg, r_arg in zip(left.args, right.args):
+            result = unify_terms(l_arg, r_arg, subst)
+            if result is None:
+                return None
+            subst = result
+        return subst
+    # Two distinct constants, or a constant against a function term.
+    return None
+
+
+def _extend(subst: Substitution, var: Variable, term: Term) -> Substitution:
+    """Bind ``var`` to ``term`` and normalize earlier bindings through it."""
+    single = Substitution({var: term})
+    updated = {v: single.apply_term(t) for v, t in subst.items()}
+    updated[var] = term
+    return Substitution(updated)
+
+
+def unify_atoms(
+    left: Atom, right: Atom, substitution: Optional[Substitution] = None
+) -> Optional[Substitution]:
+    """Most general unifier of two atoms, or ``None`` if they do not unify."""
+    if left.predicate != right.predicate or len(left.args) != len(right.args):
+        return None
+    subst = substitution if substitution is not None else Substitution.empty()
+    for l_term, r_term in zip(left.args, right.args):
+        result = unify_terms(l_term, r_term, subst)
+        if result is None:
+            return None
+        subst = result
+    return subst
+
+
+def match_atom(
+    pattern: Atom, target: Atom, substitution: Optional[Substitution] = None
+) -> Optional[Substitution]:
+    """One-way matching: bind variables of ``pattern`` so it becomes ``target``.
+
+    Unlike :func:`unify_atoms`, variables occurring in ``target`` are treated
+    as constants (they are never bound).  This is the operation needed by
+    containment mappings and by evaluating queries over ground databases.
+    """
+    if pattern.predicate != target.predicate or len(pattern.args) != len(target.args):
+        return None
+    subst = substitution if substitution is not None else Substitution.empty()
+    bindings = dict(subst)
+    for p_term, t_term in zip(pattern.args, target.args):
+        if isinstance(p_term, Constant):
+            if p_term != t_term:
+                return None
+            continue
+        assert isinstance(p_term, Variable)
+        bound = bindings.get(p_term)
+        if bound is None:
+            bindings[p_term] = t_term
+        elif bound != t_term:
+            return None
+    return Substitution(bindings)

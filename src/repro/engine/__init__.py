@@ -1,0 +1,43 @@
+"""In-memory relational / datalog engine substrate.
+
+The engine exists for two reasons:
+
+* to *verify* rewritings empirically (a rewriting evaluated over materialized
+  view instances must return the same answers as the original query over the
+  base database), and
+* to reproduce the query-optimization use case of the paper: compare the cost
+  of answering a query directly against the cost of answering it through its
+  rewriting over (smaller) materialized views.
+
+It is deliberately simple — sets of tuples, hash-join style backtracking
+evaluation, naive-to-fixpoint datalog — but complete enough to run every
+experiment in the benchmark harness.
+"""
+
+from repro.engine.relation import Relation, SkolemValue
+from repro.engine.database import Database
+from repro.engine.evaluate import (
+    EvaluationStatistics,
+    evaluate,
+    evaluate_boolean,
+    evaluate_substitutions,
+    materialize_views,
+)
+from repro.engine.datalog import DatalogProgram, evaluate_program
+from repro.engine.cost import CostModel, estimate_cost, measured_cost
+
+__all__ = [
+    "CostModel",
+    "Database",
+    "DatalogProgram",
+    "EvaluationStatistics",
+    "Relation",
+    "SkolemValue",
+    "estimate_cost",
+    "evaluate",
+    "evaluate_boolean",
+    "evaluate_program",
+    "evaluate_substitutions",
+    "materialize_views",
+    "measured_cost",
+]

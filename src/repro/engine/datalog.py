@@ -1,0 +1,192 @@
+"""Positive datalog programs evaluated to fixpoint.
+
+The inverse-rules rewriting algorithm produces a datalog program whose rules
+have view predicates in their bodies and base predicates (possibly with Skolem
+function terms) in their heads, plus the original query on top.  Evaluating
+that program over the materialized view instance yields exactly the certain
+answers of the query, after discarding answers containing Skolem values.
+
+The evaluator here is a straightforward naive/semi-naive iteration: it applies
+every rule to the current database until no new facts are produced.  Programs
+produced by the library are non-recursive, so the fixpoint is reached after a
+bounded number of rounds, but the evaluator does not rely on that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import EvaluationError
+from repro.datalog.atoms import Atom
+from repro.datalog.queries import ConjunctiveQuery
+from repro.datalog.terms import Variable
+from repro.engine.database import Database
+from repro.engine.evaluate import (
+    EvaluationStatistics,
+    _ground_term,
+    evaluate_substitutions,
+)
+
+
+@dataclass
+class DatalogProgram:
+    """A positive datalog program: a list of rules plus designated output predicates.
+
+    Each rule is a :class:`ConjunctiveQuery`; the rule's head predicate is an
+    intensional (derived) predicate.  ``outputs`` names the predicates whose
+    facts the caller is interested in (defaults to all intensional predicates).
+    """
+
+    rules: List[ConjunctiveQuery] = field(default_factory=list)
+    outputs: Optional[Sequence[str]] = None
+
+    def intensional_predicates(self) -> Set[str]:
+        return {rule.head.predicate for rule in self.rules}
+
+    def extensional_predicates(self) -> Set[str]:
+        idb = self.intensional_predicates()
+        edb: Set[str] = set()
+        for rule in self.rules:
+            for atom in rule.body:
+                if atom.predicate not in idb:
+                    edb.add(atom.predicate)
+        return edb
+
+    def add_rule(self, rule: ConjunctiveQuery) -> None:
+        self.rules.append(rule)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __str__(self) -> str:
+        from repro.datalog.printer import to_datalog
+
+        return "\n".join(to_datalog(rule) for rule in self.rules)
+
+    def stratify(self) -> List[List[ConjunctiveQuery]]:
+        """Group rules into strata such that each stratum only reads from earlier ones.
+
+        Positive programs always admit such an ordering when they are
+        non-recursive; recursive components end up in the same stratum and are
+        iterated to fixpoint together.
+        """
+        # Build dependency graph between intensional predicates.
+        idb = self.intensional_predicates()
+        depends: Dict[str, Set[str]] = {p: set() for p in idb}
+        for rule in self.rules:
+            for atom in rule.body:
+                if atom.predicate in idb:
+                    depends[rule.head.predicate].add(atom.predicate)
+        # Compute strongly connected components via Tarjan-lite (iterative Kosaraju).
+        order = _topological_components(depends)
+        strata: List[List[ConjunctiveQuery]] = []
+        for component in order:
+            stratum = [r for r in self.rules if r.head.predicate in component]
+            if stratum:
+                strata.append(stratum)
+        return strata
+
+
+def _topological_components(depends: Dict[str, Set[str]]) -> List[Set[str]]:
+    """Strongly connected components of the dependency graph, in topological order."""
+    # Kosaraju's algorithm over a small graph.
+    nodes = list(depends)
+    visited: Set[str] = set()
+    finish_order: List[str] = []
+
+    def dfs(start: str, graph: Dict[str, Set[str]], seen: Set[str], out: List[str]) -> None:
+        stack: List[Tuple[str, Iterable[str]]] = [(start, iter(graph.get(start, ())))]
+        seen.add(start)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for neighbour in it:
+                if neighbour in graph and neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append((neighbour, iter(graph.get(neighbour, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                out.append(node)
+                stack.pop()
+
+    for node in nodes:
+        if node not in visited:
+            dfs(node, depends, visited, finish_order)
+
+    reverse: Dict[str, Set[str]] = {n: set() for n in nodes}
+    for node, targets in depends.items():
+        for target in targets:
+            if target in reverse:
+                reverse[target].add(node)
+
+    components: List[Set[str]] = []
+    assigned: Set[str] = set()
+    for node in reversed(finish_order):
+        if node in assigned:
+            continue
+        component: List[str] = []
+        dfs(node, reverse, assigned, component)
+        components.append(set(component))
+    # Kosaraju yields reverse topological order over the condensation of the
+    # original graph; reverse to get dependencies-first order.
+    components.reverse()
+    return components
+
+
+def _apply_rule(
+    rule: ConjunctiveQuery, database: Database, statistics: EvaluationStatistics
+) -> List[Tuple[str, Tuple[Any, ...]]]:
+    """All head facts derivable by one rule over the current database."""
+    facts: List[Tuple[str, Tuple[Any, ...]]] = []
+    for binding in evaluate_substitutions(rule, database, statistics):
+        row = []
+        ok_all = True
+        for term in rule.head.args:
+            ok, value = _ground_term(term, binding)
+            if not ok:
+                ok_all = False
+                break
+            row.append(value)
+        if not ok_all:
+            raise EvaluationError(
+                f"rule head {rule.head} is not ground under a body match; "
+                "datalog rules must be safe"
+            )
+        facts.append((rule.head.predicate, tuple(row)))
+    return facts
+
+
+def evaluate_program(
+    program: DatalogProgram,
+    database: Database,
+    statistics: Optional[EvaluationStatistics] = None,
+    max_rounds: int = 10_000,
+) -> Database:
+    """Evaluate a datalog program to fixpoint over a database.
+
+    Returns a new database containing the input facts plus every derived fact.
+    ``max_rounds`` guards against runaway recursion (Skolem-generating
+    programs built by this library always terminate, but user programs might
+    not).
+    """
+    stats = statistics if statistics is not None else EvaluationStatistics()
+    current = database.copy()
+    for stratum in program.stratify():
+        for _round in range(max_rounds):
+            new_facts = 0
+            for rule in stratum:
+                for predicate, row in _apply_rule(rule, current, stats):
+                    if current.add_fact(predicate, row):
+                        new_facts += 1
+            if new_facts == 0:
+                break
+        else:  # pragma: no cover - defensive
+            raise EvaluationError(
+                f"datalog evaluation did not converge within {max_rounds} rounds"
+            )
+    return current

@@ -1,0 +1,280 @@
+"""Evaluation of conjunctive queries and unions over in-memory databases.
+
+The evaluator is a backtracking join: subgoals are ordered greedily (bound,
+selective subgoals first), candidate tuples are fetched through hash indexes
+on the currently-bound argument positions, and comparison subgoals are checked
+as soon as both sides are ground.
+
+Evaluation also collects :class:`EvaluationStatistics`, which the cost model
+(`repro.engine.cost`) uses to compare the work needed to answer a query
+directly against the work needed to answer its rewriting over materialized
+views — the paper's query-optimization motivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import EvaluationError
+from repro.datalog.atoms import Atom, Comparison
+from repro.datalog.queries import ConjunctiveQuery, UnionQuery
+from repro.datalog.terms import Constant, FunctionTerm, Term, Variable
+from repro.engine.database import Database
+from repro.engine.relation import Relation, SkolemValue
+
+
+@dataclass
+class EvaluationStatistics:
+    """Counters describing the work done by one or more evaluations."""
+
+    #: Candidate tuples fetched from relations (index hits or scan rows).
+    probes: int = 0
+    #: Successful extensions of a partial binding by one subgoal.
+    extensions: int = 0
+    #: Number of answer tuples produced (before de-duplication).
+    answers: int = 0
+    #: Number of subgoals evaluated (per top-level call).
+    subgoals: int = 0
+
+    def merge(self, other: "EvaluationStatistics") -> None:
+        self.probes += other.probes
+        self.extensions += other.extensions
+        self.answers += other.answers
+        self.subgoals += other.subgoals
+
+    @property
+    def work(self) -> int:
+        """A single scalar summarizing evaluation effort."""
+        return self.probes + self.extensions
+
+
+class _IndexCache:
+    """Per-evaluation cache of hash indexes on (relation, bound positions)."""
+
+    def __init__(self) -> None:
+        self._indexes: Dict[Tuple[str, Tuple[int, ...]], Dict[Tuple[Any, ...], List[Tuple[Any, ...]]]] = {}
+
+    def lookup(
+        self, relation: Relation, positions: Tuple[int, ...], key: Tuple[Any, ...]
+    ) -> List[Tuple[Any, ...]]:
+        if not positions:
+            return list(relation.tuples())
+        cache_key = (relation.name, positions)
+        index = self._indexes.get(cache_key)
+        if index is None:
+            index = relation.index_on(positions)
+            self._indexes[cache_key] = index
+        return index.get(key, [])
+
+
+Binding = Dict[Variable, Any]
+
+
+def _ground_term(term: Term, binding: Binding) -> Tuple[bool, Any]:
+    """Resolve a term to a value under a binding.
+
+    Returns ``(True, value)`` when the term is ground under the binding and
+    ``(False, None)`` otherwise.
+    """
+    if isinstance(term, Constant):
+        return True, term.value
+    if isinstance(term, Variable):
+        if term in binding:
+            return True, binding[term]
+        return False, None
+    if isinstance(term, FunctionTerm):
+        values = []
+        for arg in term.args:
+            ok, value = _ground_term(arg, binding)
+            if not ok:
+                return False, None
+            values.append(value)
+        return True, SkolemValue(term.function, values)
+    raise EvaluationError(f"cannot evaluate term {term!r}")
+
+
+def _order_subgoals(query: ConjunctiveQuery, database: Database) -> List[Atom]:
+    """Greedy join order: smallest relations first, then maximize bound variables."""
+    remaining = list(query.body)
+    if not remaining:
+        return []
+
+    def relation_size(atom: Atom) -> int:
+        relation = database.relation(atom.predicate)
+        return len(relation) if relation is not None else 0
+
+    ordered: List[Atom] = []
+    bound: set = set()
+    # Seed with the most selective subgoal (fewest tuples, most constants).
+    remaining.sort(key=lambda a: (relation_size(a), -len(a.constants())))
+    first = remaining.pop(0)
+    ordered.append(first)
+    bound.update(first.variables())
+    while remaining:
+        def score(atom: Atom) -> Tuple[int, int]:
+            shared = sum(1 for v in atom.variables() if v in bound)
+            return (-shared, relation_size(atom))
+
+        remaining.sort(key=score)
+        chosen = remaining.pop(0)
+        ordered.append(chosen)
+        bound.update(chosen.variables())
+    return ordered
+
+
+def _comparison_ready(comparison: Comparison, binding: Binding) -> Optional[bool]:
+    """Evaluate a comparison if both sides are ground; return None when not yet ground."""
+    left_ok, left = _ground_term(comparison.left, binding)
+    right_ok, right = _ground_term(comparison.right, binding)
+    if not (left_ok and right_ok):
+        return None
+    if isinstance(left, SkolemValue) or isinstance(right, SkolemValue):
+        # Skolem values are only comparable by (dis)equality.
+        if comparison.op.value in ("=", "!="):
+            return comparison.op.evaluate(left, right)
+        return False
+    return comparison.op.evaluate(left, right)
+
+
+def evaluate_substitutions(
+    query: ConjunctiveQuery,
+    database: Database,
+    statistics: Optional[EvaluationStatistics] = None,
+) -> Iterator[Binding]:
+    """Yield every satisfying assignment of the query's variables over the database.
+
+    Assignments map variables to raw values; the caller projects onto the head
+    to obtain answers.  Duplicates (assignments differing only on variables
+    that do not occur in the query) are not produced because every variable in
+    the binding occurs in the body.
+    """
+    stats = statistics if statistics is not None else EvaluationStatistics()
+    ordered = _order_subgoals(query, database)
+    stats.subgoals += len(ordered)
+    comparisons = list(query.comparisons)
+    cache = _IndexCache()
+
+    # Boolean query with empty body: the head must be ground and always holds.
+    if not ordered:
+        if all(_comparison_ready(c, {}) for c in comparisons):
+            yield {}
+        return
+
+    def check_comparisons(binding: Binding) -> bool:
+        for comparison in comparisons:
+            result = _comparison_ready(comparison, binding)
+            if result is False:
+                return False
+        return True
+
+    def extend(position: int, binding: Binding) -> Iterator[Binding]:
+        if position == len(ordered):
+            yield dict(binding)
+            return
+        atom = ordered[position]
+        relation = database.relation(atom.predicate)
+        if relation is None or len(relation) == 0:
+            return
+        if relation.arity != len(atom.args):
+            raise EvaluationError(
+                f"subgoal {atom} has arity {len(atom.args)} but relation "
+                f"{relation.name} has arity {relation.arity}"
+            )
+        bound_positions: List[int] = []
+        bound_values: List[Any] = []
+        for index, term in enumerate(atom.args):
+            ok, value = _ground_term(term, binding)
+            if ok:
+                bound_positions.append(index)
+                bound_values.append(value)
+        candidates = cache.lookup(relation, tuple(bound_positions), tuple(bound_values))
+        for row in candidates:
+            stats.probes += 1
+            new_binding = dict(binding)
+            success = True
+            for index, term in enumerate(atom.args):
+                value = row[index]
+                ok, ground_value = _ground_term(term, new_binding)
+                if ok:
+                    if ground_value != value:
+                        success = False
+                        break
+                elif isinstance(term, Variable):
+                    new_binding[term] = value
+                else:
+                    # A non-ground function term cannot be matched against a value.
+                    success = False
+                    break
+            if not success:
+                continue
+            if not check_comparisons(new_binding):
+                continue
+            stats.extensions += 1
+            yield from extend(position + 1, new_binding)
+
+    yield from extend(0, {})
+
+
+def evaluate(
+    query: "ConjunctiveQuery | UnionQuery",
+    database: Database,
+    statistics: Optional[EvaluationStatistics] = None,
+) -> FrozenSet[Tuple[Any, ...]]:
+    """Evaluate a query and return its set of answer tuples.
+
+    For a union query, the result is the union of the disjuncts' answers.
+    """
+    stats = statistics if statistics is not None else EvaluationStatistics()
+    if isinstance(query, UnionQuery):
+        answers: set = set()
+        for disjunct in query.disjuncts:
+            answers |= evaluate(disjunct, database, stats)
+        return frozenset(answers)
+
+    results: set = set()
+    for binding in evaluate_substitutions(query, database, stats):
+        row = []
+        for term in query.head.args:
+            ok, value = _ground_term(term, binding)
+            if not ok:
+                raise EvaluationError(
+                    f"head term {term} of query {query.name} is not bound by the body"
+                )
+            row.append(value)
+        stats.answers += 1
+        results.add(tuple(row))
+    return frozenset(results)
+
+
+def evaluate_boolean(
+    query: "ConjunctiveQuery | UnionQuery",
+    database: Database,
+    statistics: Optional[EvaluationStatistics] = None,
+) -> bool:
+    """Whether the query has at least one answer over the database."""
+    if isinstance(query, UnionQuery):
+        return any(evaluate_boolean(q, database, statistics) for q in query.disjuncts)
+    for _ in evaluate_substitutions(query, database, statistics):
+        return True
+    return False
+
+
+def materialize_views(views: Iterable, database: Database) -> Database:
+    """Materialize a collection of views over a base database.
+
+    Returns a new database with one relation per view, named after the view
+    and containing the view's answers over ``database``.  This is the "view
+    instance" against which rewritings are evaluated.
+    """
+    from repro.datalog.views import View, ViewSet  # local import to avoid a cycle
+
+    out = Database()
+    for view in views:
+        if not isinstance(view, View):
+            raise EvaluationError(f"materialize_views expects View objects, got {view!r}")
+        answers = evaluate(view.definition, database)
+        out.ensure_relation(view.name, view.arity)
+        for row in answers:
+            out.add_fact(view.name, row)
+    return out

@@ -1,0 +1,151 @@
+"""Relations: named sets of fixed-arity tuples, and Skolem values."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.errors import SchemaError
+
+
+class SkolemValue:
+    """An opaque value invented by the inverse-rules algorithm.
+
+    A Skolem value ``f(v1, ..., vk)`` stands for the unknown witness of a
+    view's existential variable.  Two Skolem values are equal iff they were
+    built from the same function name and the same arguments; they are never
+    equal to ordinary values.  Query answers containing Skolem values are not
+    certain answers and are filtered out by the certain-answer computation.
+    """
+
+    __slots__ = ("function", "args")
+
+    def __init__(self, function: str, args: Sequence[Any] = ()):
+        object.__setattr__(self, "function", function)
+        object.__setattr__(self, "args", tuple(args))
+
+    def __setattr__(self, key: str, value: Any) -> None:  # pragma: no cover
+        raise AttributeError("SkolemValue is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SkolemValue)
+            and other.function == self.function
+            and other.args == self.args
+        )
+
+    def __hash__(self) -> int:
+        return hash(("skolem", self.function, self.args))
+
+    def __repr__(self) -> str:
+        return f"SkolemValue({self.function!r}, {list(self.args)!r})"
+
+    def __str__(self) -> str:
+        return f"{self.function}({', '.join(str(a) for a in self.args)})"
+
+
+def contains_skolem(values: Iterable[Any]) -> bool:
+    """Whether any value in a tuple (or iterable) is a Skolem value."""
+    return any(isinstance(v, SkolemValue) for v in values)
+
+
+class Relation:
+    """A named, fixed-arity set of tuples of plain Python values.
+
+    The relation stores raw values (``str``/``int``/``float``/``bool`` or
+    :class:`SkolemValue`), not term objects, which keeps joins cheap.
+    """
+
+    __slots__ = ("name", "arity", "_tuples")
+
+    def __init__(self, name: str, arity: int, tuples: Iterable[Tuple[Any, ...]] = ()):
+        if arity < 0:
+            raise SchemaError("relation arity must be non-negative")
+        self.name = name
+        self.arity = arity
+        self._tuples: Set[Tuple[Any, ...]] = set()
+        for row in tuples:
+            self.add(row)
+
+    # -- mutation --------------------------------------------------------------
+    def add(self, row: Sequence[Any]) -> bool:
+        """Insert a tuple; returns True if it was new."""
+        tup = tuple(row)
+        if len(tup) != self.arity:
+            raise SchemaError(
+                f"relation {self.name} has arity {self.arity}, got tuple of length {len(tup)}"
+            )
+        before = len(self._tuples)
+        self._tuples.add(tup)
+        return len(self._tuples) != before
+
+    def add_all(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert many tuples; returns the number of new tuples."""
+        added = 0
+        for row in rows:
+            if self.add(row):
+                added += 1
+        return added
+
+    def discard(self, row: Sequence[Any]) -> None:
+        self._tuples.discard(tuple(row))
+
+    # -- access -----------------------------------------------------------------
+    def tuples(self) -> FrozenSet[Tuple[Any, ...]]:
+        return frozenset(self._tuples)
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, row: object) -> bool:
+        return tuple(row) in self._tuples if isinstance(row, (tuple, list)) else False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.arity == other.arity
+            and self._tuples == other._tuples
+        )
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, arity={self.arity}, size={len(self._tuples)})"
+
+    # -- relational helpers -------------------------------------------------------
+    def copy(self) -> "Relation":
+        return Relation(self.name, self.arity, self._tuples)
+
+    def project(self, positions: Sequence[int]) -> Set[Tuple[Any, ...]]:
+        """The projection of the relation onto the given column positions."""
+        for position in positions:
+            if not 0 <= position < self.arity:
+                raise SchemaError(
+                    f"projection position {position} out of range for arity {self.arity}"
+                )
+        return {tuple(row[p] for p in positions) for row in self._tuples}
+
+    def select(self, predicate: Callable[[Tuple[Any, ...]], bool]) -> "Relation":
+        """The sub-relation of tuples satisfying a Python predicate."""
+        return Relation(self.name, self.arity, (row for row in self._tuples if predicate(row)))
+
+    def column_values(self, position: int) -> Set[Any]:
+        """Distinct values appearing in one column."""
+        return {row[position] for row in self._tuples}
+
+    def active_domain(self) -> Set[Any]:
+        """All values appearing anywhere in the relation."""
+        domain: Set[Any] = set()
+        for row in self._tuples:
+            domain.update(row)
+        return domain
+
+    def index_on(self, positions: Sequence[int]) -> Dict[Tuple[Any, ...], List[Tuple[Any, ...]]]:
+        """A hash index mapping key projections to the tuples carrying them."""
+        index: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+        for row in self._tuples:
+            key = tuple(row[p] for p in positions)
+            index.setdefault(key, []).append(row)
+        return index

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so client
+code can catch a single type.  More specific subclasses indicate the layer in
+which the problem occurred (parsing, query construction, engine evaluation,
+rewriting).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ParseError(ReproError):
+    """Raised when the datalog text parser cannot interpret its input.
+
+    Attributes
+    ----------
+    text:
+        The full input text being parsed.
+    position:
+        The character offset at which the error was detected (or ``None``).
+    """
+
+    def __init__(self, message: str, text: str = "", position: int | None = None):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.position is None or not self.text:
+            return base
+        line = self.text.count("\n", 0, self.position) + 1
+        last_newline = self.text.rfind("\n", 0, self.position)
+        col = self.position - last_newline
+        return f"{base} (line {line}, column {col})"
+
+
+class QueryConstructionError(ReproError):
+    """Raised when a query, view or atom is built from inconsistent parts."""
+
+
+class UnsafeQueryError(QueryConstructionError):
+    """Raised for unsafe queries (head or comparison variables not bound in the body)."""
+
+
+class SchemaError(ReproError):
+    """Raised when relations are used with inconsistent arities."""
+
+
+class EvaluationError(ReproError):
+    """Raised by the engine when a query cannot be evaluated."""
+
+
+class RewritingError(ReproError):
+    """Raised when a rewriting request is malformed (e.g. unknown algorithm)."""
+
+
+class UnsupportedFeatureError(ReproError):
+    """Raised when an algorithm is asked to handle a feature it does not support.
+
+    For example the MiniCon implementation rejects queries with comparison
+    predicates in positions it cannot reason about soundly.
+    """

@@ -1,0 +1,68 @@
+"""View-based query rewriting — the paper's primary contribution.
+
+Given a conjunctive query ``Q`` and a set of views ``V``, the package answers
+the questions posed by the PODS'95 paper:
+
+* Does ``Q`` have a **complete (equivalent) rewriting** using only the views?
+  (:mod:`repro.rewriting.exhaustive` implements the paper's bounded search;
+  :mod:`repro.rewriting.bucket` and :mod:`repro.rewriting.minicon` implement
+  the practical algorithms from the follow-up literature.)
+* Is a particular view **usable** in some rewriting, and is it **useful**
+  (cost-reducing) for answering the query?
+  (:mod:`repro.rewriting.usability`)
+* When no equivalent rewriting exists, what is the **maximally-contained
+  rewriting**, and what are the **certain answers** obtainable from the view
+  instances?  (:mod:`repro.rewriting.contained`,
+  :mod:`repro.rewriting.inverse_rules`, :mod:`repro.rewriting.certain`)
+* Can the query be answered more cheaply by a **partial rewriting** that
+  mixes views with base relations?  (:mod:`repro.rewriting.partial`)
+
+All algorithms verify their outputs through the containment machinery: a
+rewriting is only reported as *complete* when the expansion of the rewriting
+is provably equivalent to the query.
+"""
+
+from repro.rewriting.plans import Rewriting, RewritingKind, RewritingResult
+from repro.rewriting.expansion import expand_atom, expand_query, expand_rewriting
+from repro.rewriting.verify import is_complete_rewriting, is_contained_rewriting
+from repro.rewriting.candidates import candidate_view_atoms
+from repro.rewriting.exhaustive import ExhaustiveRewriter
+from repro.rewriting.bucket import Bucket, BucketRewriter
+from repro.rewriting.minicon import MCD, MiniConRewriter
+from repro.rewriting.inverse_rules import InverseRulesRewriter, inverse_rules
+from repro.rewriting.contained import maximally_contained_rewriting
+from repro.rewriting.certain import certain_answers
+from repro.rewriting.usability import view_is_relevant, view_is_usable, view_is_useful
+from repro.rewriting.partial import partial_rewritings
+from repro.rewriting.optimizer import OptimizationResult, PlanChoice, choose_best_plan, enumerate_plans
+from repro.rewriting.rewriter import rewrite
+
+__all__ = [
+    "Bucket",
+    "BucketRewriter",
+    "ExhaustiveRewriter",
+    "InverseRulesRewriter",
+    "MCD",
+    "MiniConRewriter",
+    "OptimizationResult",
+    "PlanChoice",
+    "Rewriting",
+    "RewritingKind",
+    "RewritingResult",
+    "candidate_view_atoms",
+    "certain_answers",
+    "choose_best_plan",
+    "enumerate_plans",
+    "expand_atom",
+    "expand_query",
+    "expand_rewriting",
+    "inverse_rules",
+    "is_complete_rewriting",
+    "is_contained_rewriting",
+    "maximally_contained_rewriting",
+    "partial_rewritings",
+    "rewrite",
+    "view_is_relevant",
+    "view_is_usable",
+    "view_is_useful",
+]

@@ -1,0 +1,63 @@
+"""Candidate view atoms for equivalent rewritings.
+
+The paper's bounded-search theorem says that if a complete rewriting exists,
+one exists with at most ``n`` view subgoals (``n`` = number of subgoals of the
+minimized query).  A companion observation bounds the *shape* of those
+subgoals: in an equivalent rewriting, the expansion must contain the query,
+so there is a containment mapping from the expansion into the query; restricted
+to the expansion of any single view atom, that mapping is a homomorphism of
+the entire view body into the query body.  Consequently every view atom worth
+considering is of the form ``v(h(head_args))`` for some homomorphism ``h``
+from the view's body into the query's body.
+
+:func:`candidate_view_atoms` enumerates exactly those atoms, which keeps the
+exhaustive search space small without giving up completeness for equivalent
+rewritings of comparison-free queries.  (With comparison subgoals the
+enumeration remains sound; completeness then additionally depends on the
+interpreted containment test used for verification.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.datalog.atoms import Atom
+from repro.datalog.queries import ConjunctiveQuery
+from repro.datalog.views import View, ViewSet
+from repro.containment.homomorphism import homomorphisms
+
+
+def candidate_atoms_for_view(query: ConjunctiveQuery, view: View) -> List[Atom]:
+    """All candidate atoms over a single view (deduplicated, deterministic order)."""
+    seen: Dict[Atom, None] = {}
+    for mapping in homomorphisms(view.body, query.body):
+        image_args = tuple(mapping.apply_term(t) for t in view.head.args)
+        atom = Atom(view.name, image_args)
+        seen.setdefault(atom, None)
+    return list(seen)
+
+
+def candidate_view_atoms(
+    query: ConjunctiveQuery, views: "ViewSet | Iterable[View]"
+) -> List[Atom]:
+    """All candidate view atoms for an equivalent rewriting of ``query``.
+
+    The result is ordered view by view (in the views' order) and deduplicated.
+    An empty result means no view's body can be mapped into the query at all,
+    so no equivalent view-only rewriting can exist.
+    """
+    atoms: List[Atom] = []
+    seen: set = set()
+    for view in views:
+        for atom in candidate_atoms_for_view(query, view):
+            if atom not in seen:
+                seen.add(atom)
+                atoms.append(atom)
+    return atoms
+
+
+def candidates_by_view(
+    query: ConjunctiveQuery, views: "ViewSet | Iterable[View]"
+) -> Dict[str, List[Atom]]:
+    """Candidate atoms grouped by view name (useful for diagnostics and tests)."""
+    return {view.name: candidate_atoms_for_view(query, view) for view in views}

@@ -1,0 +1,98 @@
+"""Maximally-contained rewritings as unions of conjunctive view queries.
+
+When no equivalent rewriting exists (the common case in data integration,
+where views describe incomplete sources), the best view-only plan is the
+union of all contained conjunctive rewritings.  The union produced by the
+bucket or MiniCon algorithm is maximal among unions of conjunctive queries
+over the views: every view-only conjunctive plan contained in the query is
+contained in it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from repro.errors import RewritingError
+from repro.datalog.queries import ConjunctiveQuery, UnionQuery
+from repro.datalog.views import View, ViewSet
+from repro.containment.containment import is_contained
+from repro.rewriting.bucket import BucketRewriter
+from repro.rewriting.expansion import expand_rewriting
+from repro.rewriting.minicon import MiniConRewriter
+from repro.rewriting.plans import Rewriting, RewritingKind
+
+
+def _prune_subsumed(disjuncts: List[ConjunctiveQuery], views: ViewSet) -> List[ConjunctiveQuery]:
+    """Drop disjuncts whose expansion is contained in another disjunct's expansion."""
+    expansions = []
+    for disjunct in disjuncts:
+        expansions.append(expand_rewriting(disjunct, views))
+    keep: List[bool] = [True] * len(disjuncts)
+    for i, expansion_i in enumerate(expansions):
+        if expansion_i is None:
+            keep[i] = False
+            continue
+        for j, expansion_j in enumerate(expansions):
+            if i == j or not keep[j] or expansion_j is None:
+                continue
+            if is_contained(expansion_i, expansion_j):
+                # Break ties deterministically: prefer the earlier disjunct.
+                if not (is_contained(expansion_j, expansion_i) and j > i):
+                    keep[i] = False
+                    break
+    return [d for d, kept in zip(disjuncts, keep) if kept]
+
+
+def maximally_contained_rewriting(
+    query: ConjunctiveQuery,
+    views: "ViewSet | Iterable[View]",
+    algorithm: str = "minicon",
+    prune: bool = True,
+) -> Optional[Rewriting]:
+    """The maximally-contained union rewriting of ``query`` over ``views``.
+
+    Returns ``None`` when no contained conjunctive rewriting exists at all.
+    ``algorithm`` selects the generator of contained rewritings (``"minicon"``
+    or ``"bucket"``); ``prune`` removes disjuncts subsumed by other disjuncts,
+    which keeps the union small without changing its meaning.
+    """
+    view_set = views if isinstance(views, ViewSet) else ViewSet(list(views))
+    if algorithm == "minicon":
+        rewriter: "MiniConRewriter | BucketRewriter" = MiniConRewriter(view_set)
+    elif algorithm == "bucket":
+        rewriter = BucketRewriter(view_set)
+    else:
+        raise RewritingError(
+            f"unknown algorithm {algorithm!r} for maximally-contained rewriting "
+            "(expected 'minicon' or 'bucket')"
+        )
+    result = rewriter.rewrite(query)
+    disjuncts = [
+        r.query
+        for r in result.rewritings
+        if isinstance(r.query, ConjunctiveQuery)
+        and r.kind in (RewritingKind.CONTAINED, RewritingKind.EQUIVALENT)
+    ]
+    if not disjuncts:
+        return None
+    if prune and len(disjuncts) > 1:
+        disjuncts = _prune_subsumed(disjuncts, view_set)
+    union: Union[ConjunctiveQuery, UnionQuery]
+    union = disjuncts[0] if len(disjuncts) == 1 else UnionQuery(disjuncts).simplified()
+    kind = RewritingKind.MAXIMALLY_CONTAINED
+    # If one disjunct is already equivalent, the union is equivalent as well.
+    if any(r.kind is RewritingKind.EQUIVALENT for r in result.rewritings):
+        kind = RewritingKind.EQUIVALENT
+    return Rewriting(
+        query=union,
+        kind=kind,
+        algorithm=f"{algorithm}-union",
+        views_used=tuple(
+            dict.fromkeys(
+                atom.predicate
+                for disjunct in (union.disjuncts if isinstance(union, UnionQuery) else (union,))
+                for atom in disjunct.body
+            )
+        ),
+        expansion=expand_rewriting(union, view_set),
+    )

@@ -1,0 +1,169 @@
+"""The paper's bounded exhaustive search for complete (equivalent) rewritings.
+
+The search enumerates candidate rewritings in order of increasing size, up to
+the paper's bound of ``n`` view subgoals (``n`` = number of subgoals of the
+minimized query), and verifies each candidate by expanding it and testing
+equivalence with the query.  It is sound and complete for conjunctive queries
+and views without comparison subgoals — exactly the setting of the paper's
+Theorems — and remains sound (complete modulo the interpreted-containment
+enumeration limit) when comparisons are present.
+
+The search is exponential in the worst case, which is unavoidable: deciding
+the existence of a complete rewriting is NP-complete (paper result R2); the
+E3 benchmark measures exactly this growth.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.datalog.atoms import Atom, Comparison, ComparisonOperator
+from repro.datalog.queries import ConjunctiveQuery
+from repro.datalog.substitution import Substitution
+from repro.datalog.terms import Constant, Variable
+from repro.datalog.views import View, ViewSet
+from repro.containment.minimize import minimize
+from repro.rewriting.candidates import candidate_view_atoms
+from repro.rewriting.expansion import expand_query
+from repro.rewriting.plans import Rewriting, RewritingKind, RewritingResult
+from repro.rewriting.verify import is_complete_rewriting
+
+
+def normalize_equalities(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Inline equality comparisons over existential variables.
+
+    A comparison ``Y = 7`` (or ``Y = Z``) pins an existential variable; the
+    equivalent query obtained by substituting the variable away exposes the
+    constant (or the shared variable) inside the relational subgoals, which is
+    what the candidate-atom construction looks at.  Head variables are never
+    substituted, so the query's output schema is unchanged.  The
+    transformation preserves equivalence.
+    """
+    current = query
+    head_vars = set(query.head.variables())
+    changed = True
+    while changed:
+        changed = False
+        for comparison in current.comparisons:
+            if comparison.op is not ComparisonOperator.EQ:
+                continue
+            left, right = comparison.left, comparison.right
+            target: "Variable | None" = None
+            replacement = None
+            if isinstance(left, Variable) and left not in head_vars:
+                target, replacement = left, right
+            elif isinstance(right, Variable) and right not in head_vars:
+                target, replacement = right, left
+            if target is None or target == replacement:
+                continue
+            remaining = tuple(c for c in current.comparisons if c is not comparison)
+            substitution = Substitution({target: replacement})
+            current = ConjunctiveQuery(
+                current.head,
+                substitution.apply_atoms(current.body),
+                substitution.apply_comparisons(remaining),
+                require_safe=False,
+            )
+            changed = True
+            break
+    return current
+
+
+class ExhaustiveRewriter:
+    """Bounded exhaustive search for equivalent view-only rewritings.
+
+    Parameters
+    ----------
+    views:
+        The views available for rewriting.
+    max_subgoals:
+        Optional cap on the rewriting size.  Defaults to the paper's bound
+        (the number of subgoals of the minimized query); a smaller cap turns
+        the search into a sound but incomplete procedure.
+    find_all:
+        When true, keep searching after the first equivalent rewriting and
+        return every one found (at every size up to the bound).
+    minimize_query:
+        Minimize the input query before searching (recommended; the paper's
+        bound is stated for minimal queries).
+    """
+
+    algorithm_name = "exhaustive"
+
+    def __init__(
+        self,
+        views: "ViewSet | Iterable[View]",
+        max_subgoals: Optional[int] = None,
+        find_all: bool = False,
+        minimize_query: bool = True,
+    ):
+        self.views = views if isinstance(views, ViewSet) else ViewSet(list(views))
+        self.max_subgoals = max_subgoals
+        self.find_all = find_all
+        self.minimize_query = minimize_query
+
+    # -- candidate construction ---------------------------------------------
+    def _attach_comparisons(
+        self, query: ConjunctiveQuery, body: Sequence[Atom]
+    ) -> Tuple[Comparison, ...]:
+        """Query comparisons whose variables are all visible in the rewriting body."""
+        visible = set()
+        for atom in body:
+            visible.update(atom.variables())
+        kept = []
+        for comparison in query.comparisons:
+            if all(var in visible for var in comparison.variables()):
+                kept.append(comparison)
+        return tuple(kept)
+
+    def _candidate_rewritings(
+        self, query: ConjunctiveQuery, candidates: Sequence[Atom], bound: int
+    ) -> Iterator[ConjunctiveQuery]:
+        """All candidate rewritings of size 1..bound, smallest first."""
+        head_vars = set(query.head.variables())
+        for size in range(1, bound + 1):
+            for combination in itertools.combinations(candidates, size):
+                covered = set()
+                for atom in combination:
+                    covered.update(atom.variables())
+                if not head_vars <= covered:
+                    continue  # unsafe: some distinguished variable is not retrievable
+                comparisons = self._attach_comparisons(query, combination)
+                yield ConjunctiveQuery(
+                    query.head, combination, comparisons, require_safe=False
+                )
+
+    # -- main entry point --------------------------------------------------------
+    def rewrite(self, query: ConjunctiveQuery) -> RewritingResult:
+        """Search for equivalent rewritings of ``query`` using the configured views."""
+        target = normalize_equalities(query)
+        if self.minimize_query:
+            target = minimize(target)
+        result = RewritingResult(query=query, views=self.views, algorithm=self.algorithm_name)
+        candidates = candidate_view_atoms(target, self.views)
+        if not candidates:
+            return result
+        bound = target.size() if self.max_subgoals is None else min(
+            self.max_subgoals, max(target.size(), 1)
+        )
+        for candidate in self._candidate_rewritings(target, candidates, bound):
+            result.candidates_examined += 1
+            if is_complete_rewriting(candidate, target, self.views):
+                rewriting = Rewriting(
+                    query=candidate,
+                    kind=RewritingKind.EQUIVALENT,
+                    algorithm=self.algorithm_name,
+                    views_used=tuple(
+                        dict.fromkeys(a.predicate for a in candidate.body)
+                    ),
+                    expansion=expand_query(candidate, self.views),
+                )
+                result.rewritings.append(rewriting)
+                if not self.find_all:
+                    break
+        return result
+
+    def has_complete_rewriting(self, query: ConjunctiveQuery) -> bool:
+        """Decision procedure: does an equivalent view-only rewriting exist?"""
+        return self.rewrite(query).has_equivalent

@@ -1,0 +1,128 @@
+"""Expansion (unfolding) of view-based queries into base-schema queries.
+
+A rewriting is a query whose body atoms range over view predicates (and, for
+partial rewritings, base predicates).  Its *expansion* replaces each view atom
+with the view definition's body, after
+
+1. unifying the view's head arguments with the atom's arguments, and
+2. renaming the view's existential variables to fresh variables, so that two
+   uses of the same view never share existential witnesses.
+
+The expansion is what gets compared against the original query: a rewriting
+is complete when its expansion is equivalent to the query, and contained when
+its expansion is contained in the query.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.errors import RewritingError
+from repro.datalog.atoms import Atom, Comparison
+from repro.datalog.freshen import FreshVariableFactory
+from repro.datalog.queries import ConjunctiveQuery, UnionQuery
+from repro.datalog.substitution import Substitution, unify_terms
+from repro.datalog.terms import Variable
+from repro.datalog.views import View, ViewSet
+
+
+def expand_atom(
+    atom: Atom,
+    view: View,
+    factory: FreshVariableFactory,
+) -> Optional[Tuple[Tuple[Atom, ...], Tuple[Comparison, ...]]]:
+    """Expand a single view atom into the view definition's subgoals.
+
+    Returns ``(body_atoms, comparisons)`` over the base schema, or ``None``
+    when the atom's arguments cannot be unified with the view's head (which
+    can only happen when constants clash); a ``None`` expansion denotes an
+    unsatisfiable conjunct.
+    """
+    if atom.predicate != view.name:
+        raise RewritingError(f"atom {atom} is not over view {view.name}")
+    if len(atom.args) != view.arity:
+        raise RewritingError(
+            f"atom {atom} has {len(atom.args)} arguments but view {view.name} "
+            f"has arity {view.arity}"
+        )
+    # Rename the entire view definition apart from anything seen so far.
+    renaming = Substitution(
+        {var: factory.fresh(var.name) for var in view.definition.variables()}
+    )
+    head_args = [renaming.apply_term(t) for t in view.head.args]
+    body = renaming.apply_atoms(view.body)
+    comparisons = renaming.apply_comparisons(view.definition.comparisons)
+
+    # Unify the renamed head arguments with the atom's arguments.  Arguments of
+    # the atom are never rewritten (they belong to the rewriting), so we build
+    # the substitution on the renamed view variables only.
+    unifier: Optional[Substitution] = Substitution.empty()
+    for head_term, atom_term in zip(head_args, atom.args):
+        unifier = unify_terms(head_term, atom_term, unifier)
+        if unifier is None:
+            return None
+    assert unifier is not None
+    return unifier.apply_atoms(body), unifier.apply_comparisons(comparisons)
+
+
+def expand_query(
+    query: ConjunctiveQuery,
+    views: ViewSet,
+) -> Optional[ConjunctiveQuery]:
+    """Expand every view atom in ``query``'s body; keep base atoms as they are.
+
+    Returns ``None`` when some view atom's expansion is unsatisfiable.  The
+    result keeps the original head, so the expansion can be compared directly
+    with the query being rewritten.
+    """
+    factory = FreshVariableFactory(reserved=[v.name for v in query.variables()])
+    body: List[Atom] = []
+    comparisons: List[Comparison] = list(query.comparisons)
+    for atom in query.body:
+        view = views.get(atom.predicate)
+        if view is None:
+            body.append(atom)
+            continue
+        expansion = expand_atom(atom, view, factory)
+        if expansion is None:
+            return None
+        expanded_atoms, expanded_comparisons = expansion
+        body.extend(expanded_atoms)
+        comparisons.extend(expanded_comparisons)
+    return ConjunctiveQuery(query.head, body, comparisons, require_safe=False)
+
+
+def expand_rewriting(
+    rewriting: Union[ConjunctiveQuery, UnionQuery],
+    views: ViewSet,
+) -> Union[ConjunctiveQuery, UnionQuery, None]:
+    """Expand a rewriting (conjunctive or union) over a set of views.
+
+    For a union, unsatisfiable disjuncts are dropped; the result is ``None``
+    when every disjunct is unsatisfiable.
+    """
+    if isinstance(rewriting, UnionQuery):
+        expanded = [expand_query(q, views) for q in rewriting.disjuncts]
+        kept = [q for q in expanded if q is not None]
+        if not kept:
+            return None
+        if len(kept) == 1:
+            return kept[0]
+        return UnionQuery(kept)
+    return expand_query(rewriting, views)
+
+
+def uses_only_views(query: ConjunctiveQuery, views: ViewSet) -> bool:
+    """Whether every body atom of ``query`` is over a view predicate."""
+    return all(views.is_view_predicate(atom.predicate) for atom in query.body)
+
+
+def views_used(query: Union[ConjunctiveQuery, UnionQuery], views: ViewSet) -> Tuple[str, ...]:
+    """The names of the views referenced by a rewriting, in order of first use."""
+    names: List[str] = []
+    disjuncts = query.disjuncts if isinstance(query, UnionQuery) else (query,)
+    for disjunct in disjuncts:
+        for atom in disjunct.body:
+            if views.is_view_predicate(atom.predicate) and atom.predicate not in names:
+                names.append(atom.predicate)
+    return tuple(names)

@@ -1,0 +1,119 @@
+"""The inverse-rules rewriting algorithm.
+
+The inverse-rules approach (Duschka & Genesereth) constructs, for every view
+
+``v(X̄) :- p1(ū1), ..., pk(ūk)``
+
+one *inverse rule* per body subgoal:
+
+``pi(ūi') :- v(X̄)``
+
+where each existential variable ``Y`` of the view is replaced, in ``ūi'``, by
+the Skolem function term ``f_{v,Y}(X̄)`` — a name for the unknown witness that
+must have existed for the view tuple to be present.  The inverse rules
+together with the original query form a datalog program; evaluated over the
+materialized view instance it reconstructs (a sound approximation of) the base
+database and re-runs the query, and the answers free of Skolem values are
+exactly the certain answers.  As a rewriting it is maximally contained.
+
+The program produced here is evaluated by :mod:`repro.engine.datalog`; the
+pair therefore provides an end-to-end, executable maximally-contained plan
+against which the bucket/MiniCon unions can be compared (benchmark E9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import UnsupportedFeatureError
+from repro.datalog.atoms import Atom
+from repro.datalog.queries import ConjunctiveQuery
+from repro.datalog.terms import FunctionTerm, Term, Variable
+from repro.datalog.views import View, ViewSet
+from repro.engine.database import Database
+from repro.engine.datalog import DatalogProgram, evaluate_program
+from repro.engine.evaluate import evaluate
+from repro.engine.relation import contains_skolem
+from repro.rewriting.plans import Rewriting, RewritingKind, RewritingResult
+
+
+def inverse_rules(view: View) -> List[ConjunctiveQuery]:
+    """The inverse rules of a single view."""
+    if view.definition.comparisons:
+        raise UnsupportedFeatureError(
+            f"inverse rules are only defined for views without comparison subgoals "
+            f"(view {view.name} has {len(view.definition.comparisons)})"
+        )
+    head_args = view.head.args
+    existential = set(view.existential_variables())
+    replacement: Dict[Variable, Term] = {
+        var: FunctionTerm(f"f_{view.name}_{var.name}", head_args) for var in existential
+    }
+
+    def transform(term: Term) -> Term:
+        if isinstance(term, Variable) and term in replacement:
+            return replacement[term]
+        return term
+
+    rules: List[ConjunctiveQuery] = []
+    body = (Atom(view.name, head_args),)
+    for subgoal in view.body:
+        head = Atom(subgoal.predicate, tuple(transform(t) for t in subgoal.args))
+        rules.append(ConjunctiveQuery(head, body, require_safe=False))
+    return rules
+
+
+def inverse_rules_program(
+    query: ConjunctiveQuery, views: "ViewSet | Iterable[View]"
+) -> DatalogProgram:
+    """The full inverse-rules program: inverse rules of every view plus the query."""
+    view_set = views if isinstance(views, ViewSet) else ViewSet(list(views))
+    program = DatalogProgram(outputs=[query.name])
+    for view in view_set:
+        for rule in inverse_rules(view):
+            program.add_rule(rule)
+    program.add_rule(query)
+    return program
+
+
+class InverseRulesRewriter:
+    """Wraps the inverse-rules construction in the common rewriter interface.
+
+    Unlike the other algorithms, the "rewriting" here is a datalog program
+    rather than a union of conjunctive queries over the views, so the
+    :class:`Rewriting` it reports carries the query itself and the program is
+    exposed separately through :meth:`program`.
+    """
+
+    algorithm_name = "inverse-rules"
+
+    def __init__(self, views: "ViewSet | Iterable[View]"):
+        self.views = views if isinstance(views, ViewSet) else ViewSet(list(views))
+
+    def program(self, query: ConjunctiveQuery) -> DatalogProgram:
+        """The datalog program implementing the maximally-contained rewriting."""
+        return inverse_rules_program(query, self.views)
+
+    def rewrite(self, query: ConjunctiveQuery) -> RewritingResult:
+        result = RewritingResult(query=query, views=self.views, algorithm=self.algorithm_name)
+        program = self.program(query)
+        result.candidates_examined = len(program)
+        result.rewritings.append(
+            Rewriting(
+                query=query,
+                kind=RewritingKind.MAXIMALLY_CONTAINED,
+                algorithm=self.algorithm_name,
+                views_used=tuple(v.name for v in self.views),
+                expansion=None,
+            )
+        )
+        return result
+
+    def certain_answers(
+        self, query: ConjunctiveQuery, view_instance: Database
+    ) -> frozenset:
+        """Evaluate the program over a view instance and keep Skolem-free answers."""
+        program = self.program(query)
+        derived = evaluate_program(program, view_instance)
+        answers = evaluate(query.with_name(query.name), derived)
+        return frozenset(row for row in answers if not contains_skolem(row))

@@ -1,0 +1,164 @@
+"""Cost-based selection among candidate plans (original query vs rewritings).
+
+The paper's query-optimization story does not end with *finding* rewritings:
+the optimizer must decide which plan to run — the original query over the base
+relations, a complete rewriting over the views, or a partial rewriting mixing
+both.  :func:`choose_best_plan` makes that decision with the engine's cost
+model, and :class:`PlanChoice` records enough context to explain it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.datalog.queries import ConjunctiveQuery, UnionQuery
+from repro.datalog.views import View, ViewSet
+from repro.containment.minimize import minimize
+from repro.engine.cost import estimate_cost, measured_cost
+from repro.engine.database import Database
+from repro.engine.evaluate import materialize_views
+from repro.rewriting.partial import partial_rewritings
+from repro.rewriting.plans import Rewriting, RewritingKind
+from repro.rewriting.rewriter import rewrite
+
+
+@dataclass
+class PlanChoice:
+    """One candidate plan together with its estimated (or measured) cost."""
+
+    #: "base" for the original query, otherwise the producing algorithm.
+    source: str
+    #: The executable plan (over base relations, views, or a mix).
+    plan: Union[ConjunctiveQuery, UnionQuery]
+    #: Cost under the chosen metric (lower is better).
+    cost: float
+    #: The rewriting object the plan came from (``None`` for the base plan).
+    rewriting: Optional[Rewriting] = None
+
+    @property
+    def uses_views(self) -> bool:
+        return self.rewriting is not None
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of :func:`choose_best_plan`: the winner plus every alternative."""
+
+    best: PlanChoice
+    alternatives: List[PlanChoice]
+
+    @property
+    def speedup_over_base(self) -> float:
+        """How much cheaper the chosen plan is than the base plan (>= 1.0 when it wins)."""
+        base = next((c for c in self.alternatives if c.source == "base"), None)
+        if base is None or self.best.cost <= 0:
+            return 1.0
+        return base.cost / self.best.cost
+
+
+def enumerate_plans(
+    query: ConjunctiveQuery,
+    views: "ViewSet | Iterable[View]",
+    include_partial: bool = True,
+    algorithms: Sequence[str] = ("minicon",),
+) -> List[Rewriting]:
+    """Every equivalent plan the rewriting algorithms can produce.
+
+    Only equivalent (complete or partial) rewritings are returned — the
+    optimizer must never trade answers for speed.  Plans are minimized so the
+    cost comparison is between the plans an optimizer would actually run.
+    """
+    view_set = views if isinstance(views, ViewSet) else ViewSet(list(views))
+    plans: List[Rewriting] = []
+    seen = set()
+    for algorithm in algorithms:
+        result = rewrite(query, view_set, algorithm=algorithm, mode="equivalent")
+        for rewriting in result.equivalent_rewritings():
+            assert isinstance(rewriting.query, ConjunctiveQuery)
+            reduced = minimize(rewriting.query)
+            key = reduced.canonical()
+            if key in seen:
+                continue
+            seen.add(key)
+            plans.append(
+                Rewriting(
+                    query=reduced,
+                    kind=rewriting.kind,
+                    algorithm=rewriting.algorithm,
+                    views_used=rewriting.views_used,
+                    expansion=rewriting.expansion,
+                )
+            )
+    if include_partial:
+        for rewriting in partial_rewritings(query, view_set):
+            assert isinstance(rewriting.query, ConjunctiveQuery)
+            reduced = minimize(rewriting.query)
+            key = reduced.canonical()
+            if key in seen:
+                continue
+            seen.add(key)
+            plans.append(
+                Rewriting(
+                    query=reduced,
+                    kind=rewriting.kind,
+                    algorithm=rewriting.algorithm,
+                    views_used=rewriting.views_used,
+                    expansion=rewriting.expansion,
+                )
+            )
+    return plans
+
+
+def choose_best_plan(
+    query: ConjunctiveQuery,
+    views: "ViewSet | Iterable[View]",
+    database: Database,
+    metric: str = "estimate",
+    include_partial: bool = True,
+    algorithms: Sequence[str] = ("minicon",),
+) -> OptimizationResult:
+    """Pick the cheapest way to answer ``query`` given materialized ``views``.
+
+    Parameters
+    ----------
+    metric:
+        ``"estimate"`` uses the cardinality-based estimator (no evaluation);
+        ``"measured"`` evaluates every candidate plan and uses the engine's
+        work counters (exact but as expensive as running the plans).
+    include_partial:
+        Also consider plans that mix views with base relations.
+    algorithms:
+        Which rewriting algorithms supply candidate plans.
+
+    The base plan (the query itself over the base relations) is always a
+    candidate, so the result never regresses: if no rewriting is cheaper, the
+    base plan wins.
+    """
+    view_set = views if isinstance(views, ViewSet) else ViewSet(list(views))
+    view_instance = materialize_views(view_set, database)
+    combined = view_instance.merge(database)
+
+    def plan_cost(plan: Union[ConjunctiveQuery, UnionQuery], data: Database) -> float:
+        if metric == "measured":
+            cost, _ = measured_cost(plan, data)
+            return cost
+        return estimate_cost(plan, data)
+
+    choices: List[PlanChoice] = [
+        PlanChoice(source="base", plan=query, cost=plan_cost(query, database))
+    ]
+    for rewriting in enumerate_plans(
+        query, view_set, include_partial=include_partial, algorithms=algorithms
+    ):
+        data = combined if rewriting.kind is RewritingKind.PARTIAL else view_instance
+        choices.append(
+            PlanChoice(
+                source=rewriting.algorithm,
+                plan=rewriting.query,
+                cost=plan_cost(rewriting.query, data),
+                rewriting=rewriting,
+            )
+        )
+    best = min(choices, key=lambda choice: choice.cost)
+    return OptimizationResult(best=best, alternatives=choices)

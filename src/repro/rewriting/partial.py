@@ -1,0 +1,109 @@
+"""Partial rewritings: equivalent plans mixing views and base relations.
+
+In the query-optimization reading of the paper, a rewriting need not eliminate
+every base relation — replacing even a single expensive join by a lookup into
+a materialized view is worthwhile.  A *partial rewriting* keeps some of the
+query's own subgoals and replaces the rest with view atoms; it is reported
+only when its expansion is equivalent to the query, so it can be used as a
+drop-in replacement plan.
+
+The search reuses MiniCon descriptions: each MCD describes a fragment of the
+query a view can take over, so a partial rewriting corresponds to a set of
+MCDs with pairwise-disjoint coverage (not necessarily total), with the
+uncovered subgoals kept as base atoms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.datalog.queries import ConjunctiveQuery
+from repro.datalog.views import View, ViewSet
+from repro.containment.minimize import minimize
+from repro.rewriting.expansion import expand_query
+from repro.rewriting.minicon import MCD, MiniConRewriter
+from repro.rewriting.plans import Rewriting, RewritingKind
+from repro.rewriting.verify import is_complete_rewriting
+
+
+def _disjoint_subsets(
+    mcds: List[MCD], total: int, max_plans: Optional[int]
+) -> Iterator[Tuple[Tuple[MCD, ...], frozenset]]:
+    """Non-empty sets of MCDs with pairwise-disjoint coverage.
+
+    Yields ``(combination, covered_indices)``.  The enumeration is depth-first
+    over MCDs in order, so smaller combinations come first for each prefix.
+    """
+    count = 0
+
+    def recurse(start: int, chosen: List[MCD], covered: frozenset) -> Iterator[Tuple[Tuple[MCD, ...], frozenset]]:
+        nonlocal count
+        for index in range(start, len(mcds)):
+            mcd = mcds[index]
+            if covered & mcd.covered:
+                continue
+            chosen.append(mcd)
+            new_covered = covered | mcd.covered
+            yield tuple(chosen), new_covered
+            count += 1
+            if max_plans is not None and count >= max_plans:
+                chosen.pop()
+                return
+            yield from recurse(index + 1, chosen, new_covered)
+            chosen.pop()
+
+    yield from recurse(0, [], frozenset())
+
+
+def partial_rewritings(
+    query: ConjunctiveQuery,
+    views: "ViewSet | Iterable[View]",
+    max_plans: Optional[int] = 200,
+    minimize_query: bool = True,
+    include_complete: bool = False,
+) -> List[Rewriting]:
+    """Equivalent rewritings of ``query`` that may keep base relations.
+
+    Returns one :class:`Rewriting` (kind ``PARTIAL``) per verified plan.
+    Plans that use no base relation at all are reported only when
+    ``include_complete`` is true (they are ordinary complete rewritings and
+    the dedicated algorithms find them more efficiently).
+    ``max_plans`` caps the number of MCD combinations explored.
+    """
+    view_set = views if isinstance(views, ViewSet) else ViewSet(list(views))
+    target = minimize(query) if minimize_query else query
+    rewriter = MiniConRewriter(view_set)
+    mcds = rewriter.form_mcds(target)
+    if not mcds:
+        return []
+    all_indices = frozenset(range(len(target.body)))
+    results: List[Rewriting] = []
+    seen: set = set()
+    for combination, covered in _disjoint_subsets(mcds, len(target.body), max_plans):
+        uncovered = all_indices - covered
+        if not uncovered and not include_complete:
+            continue
+        candidate = rewriter._assemble(target, combination, base_indices=uncovered)
+        if candidate is None:
+            continue
+        key = candidate.canonical()
+        if key in seen:
+            continue
+        seen.add(key)
+        if not is_complete_rewriting(candidate, target, view_set):
+            continue
+        kind = RewritingKind.PARTIAL if uncovered else RewritingKind.EQUIVALENT
+        results.append(
+            Rewriting(
+                query=candidate,
+                kind=kind,
+                algorithm="minicon-partial",
+                views_used=tuple(
+                    dict.fromkeys(
+                        a.predicate for a in candidate.body if view_set.is_view_predicate(a.predicate)
+                    )
+                ),
+                expansion=expand_query(candidate, view_set),
+            )
+        )
+    return results

@@ -1,0 +1,43 @@
+"""Verification of candidate rewritings by containment of their expansions."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.datalog.queries import ConjunctiveQuery, UnionQuery
+from repro.datalog.views import ViewSet
+from repro.containment.containment import is_contained, is_equivalent
+from repro.rewriting.expansion import expand_rewriting
+
+
+def is_contained_rewriting(
+    rewriting: Union[ConjunctiveQuery, UnionQuery],
+    query: ConjunctiveQuery,
+    views: ViewSet,
+) -> bool:
+    """Whether the rewriting's expansion is contained in the query.
+
+    A contained rewriting is *sound*: evaluated over any view instance derived
+    from a database ``D``, it returns only answers of the query over ``D``.
+    """
+    expansion = expand_rewriting(rewriting, views)
+    if expansion is None:
+        return True  # an unsatisfiable rewriting returns nothing, vacuously sound
+    return is_contained(expansion, query)
+
+
+def is_complete_rewriting(
+    rewriting: Union[ConjunctiveQuery, UnionQuery],
+    query: ConjunctiveQuery,
+    views: ViewSet,
+) -> bool:
+    """Whether the rewriting's expansion is equivalent to the query.
+
+    This is the paper's notion of a *complete rewriting*: for every database,
+    evaluating the rewriting over the materialized views yields exactly the
+    query's answers.
+    """
+    expansion = expand_rewriting(rewriting, views)
+    if expansion is None:
+        return False
+    return is_equivalent(expansion, query)

@@ -1,0 +1,375 @@
+"""Synthetic query/view generators (chain, star, complete, random).
+
+All generators are deterministic given their ``seed`` argument, so benchmarks
+and tests are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryConstructionError
+from repro.datalog.atoms import Atom
+from repro.datalog.queries import ConjunctiveQuery
+from repro.datalog.terms import Variable
+from repro.datalog.views import View, ViewSet
+
+
+@dataclass
+class WorkloadSpec:
+    """A generated workload: one query plus the views available for rewriting."""
+
+    name: str
+    query: ConjunctiveQuery
+    views: ViewSet
+    #: Free-form parameters recorded for reporting (length, #views, seed, ...).
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        lines = [f"# workload {self.name} {self.parameters}", str(self.query)]
+        lines.extend(str(v) for v in self.views)
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Chain queries
+# ---------------------------------------------------------------------------
+
+def _chain_vars(length: int) -> List[Variable]:
+    return [Variable(f"X{i}") for i in range(length + 1)]
+
+
+def chain_query(
+    length: int,
+    name: str = "q",
+    relation_prefix: str = "r",
+    distinct_relations: bool = True,
+) -> ConjunctiveQuery:
+    """A chain query of the given length.
+
+    ``q(X0, Xn) :- r1(X0, X1), r2(X1, X2), ..., rn(X(n-1), Xn)``
+
+    With ``distinct_relations=False`` every subgoal uses the same relation
+    ``r``, which makes the rewriting problem considerably harder (every view
+    subgoal unifies with every query subgoal).
+    """
+    if length < 1:
+        raise QueryConstructionError("chain length must be at least 1")
+    variables = _chain_vars(length)
+    body = []
+    for i in range(length):
+        relation = f"{relation_prefix}{i + 1}" if distinct_relations else relation_prefix
+        body.append(Atom(relation, [variables[i], variables[i + 1]]))
+    head = Atom(name, [variables[0], variables[length]])
+    return ConjunctiveQuery(head, body)
+
+
+def chain_views(
+    length: int,
+    segment_lengths: Optional[Sequence[int]] = None,
+    relation_prefix: str = "r",
+    distinct_relations: bool = True,
+    name_prefix: str = "v",
+    expose_endpoints_only: bool = True,
+) -> ViewSet:
+    """Views over contiguous segments of a chain of the given length.
+
+    By default one view is created for every contiguous segment of every
+    length in ``segment_lengths`` (default: all lengths from 1 to ``length``).
+    Each view's head exposes the segment's endpoints; with
+    ``expose_endpoints_only=False`` all the segment's variables are exposed,
+    which makes many more rewritings possible.
+    """
+    if segment_lengths is None:
+        segment_lengths = range(1, length + 1)
+    variables = _chain_vars(length)
+    views: List[View] = []
+    for segment_length in segment_lengths:
+        if segment_length < 1 or segment_length > length:
+            continue
+        for start in range(0, length - segment_length + 1):
+            body = []
+            for offset in range(segment_length):
+                i = start + offset
+                relation = f"{relation_prefix}{i + 1}" if distinct_relations else relation_prefix
+                body.append(Atom(relation, [variables[i], variables[i + 1]]))
+            if expose_endpoints_only:
+                head_args: List[Variable] = [variables[start], variables[start + segment_length]]
+            else:
+                head_args = variables[start: start + segment_length + 1]
+            view_name = f"{name_prefix}_{start}_{segment_length}"
+            definition = ConjunctiveQuery(Atom(view_name, head_args), body)
+            views.append(View(view_name, definition))
+    return ViewSet(views)
+
+
+# ---------------------------------------------------------------------------
+# Star queries
+# ---------------------------------------------------------------------------
+
+def star_query(
+    arms: int,
+    name: str = "q",
+    relation_prefix: str = "e",
+    distinct_relations: bool = True,
+    expose_center: bool = False,
+) -> ConjunctiveQuery:
+    """A star query: ``arms`` subgoals sharing a central join variable.
+
+    ``q(X1, ..., Xk) :- e1(C, X1), e2(C, X2), ..., ek(C, Xk)``
+
+    The leaves are distinguished; the centre ``C`` is existential unless
+    ``expose_center`` is set.
+    """
+    if arms < 1:
+        raise QueryConstructionError("a star query needs at least one arm")
+    center = Variable("C")
+    leaves = [Variable(f"X{i}") for i in range(1, arms + 1)]
+    body = []
+    for i, leaf in enumerate(leaves):
+        relation = f"{relation_prefix}{i + 1}" if distinct_relations else relation_prefix
+        body.append(Atom(relation, [center, leaf]))
+    head_args: List[Variable] = ([center] if expose_center else []) + leaves
+    return ConjunctiveQuery(Atom(name, head_args), body)
+
+
+def star_views(
+    arms: int,
+    arm_subsets: Optional[Sequence[Sequence[int]]] = None,
+    relation_prefix: str = "e",
+    distinct_relations: bool = True,
+    name_prefix: str = "v",
+    expose_center: bool = False,
+) -> ViewSet:
+    """Views covering subsets of a star query's arms.
+
+    ``arm_subsets`` lists the 1-based arm indices each view covers; the
+    default creates one single-arm view per arm plus one view per adjacent
+    pair of arms.
+    """
+    if arm_subsets is None:
+        arm_subsets = [[i] for i in range(1, arms + 1)] + [
+            [i, i + 1] for i in range(1, arms)
+        ]
+    center = Variable("C")
+    views: List[View] = []
+    for subset in arm_subsets:
+        body = []
+        leaves = []
+        for arm in subset:
+            if arm < 1 or arm > arms:
+                raise QueryConstructionError(f"arm index {arm} out of range 1..{arms}")
+            relation = f"{relation_prefix}{arm}" if distinct_relations else relation_prefix
+            leaf = Variable(f"X{arm}")
+            leaves.append(leaf)
+            body.append(Atom(relation, [center, leaf]))
+        head_args: List[Variable] = ([center] if expose_center else []) + leaves
+        view_name = f"{name_prefix}_{'_'.join(str(a) for a in subset)}"
+        views.append(View(view_name, ConjunctiveQuery(Atom(view_name, head_args), body)))
+    return ViewSet(views)
+
+
+# ---------------------------------------------------------------------------
+# Complete (clique) queries
+# ---------------------------------------------------------------------------
+
+def complete_query(
+    size: int,
+    name: str = "q",
+    relation: str = "edge",
+) -> ConjunctiveQuery:
+    """A complete query: one subgoal per ordered pair of distinct variables.
+
+    ``q(X1, ..., Xk) :- edge(X1, X2), edge(X1, X3), ..., edge(X(k-1), Xk)``
+
+    Every subgoal uses the same relation, so every view subgoal unifies with
+    every query subgoal — the hardest shape for rewriting algorithms.
+    """
+    if size < 2:
+        raise QueryConstructionError("a complete query needs at least two variables")
+    variables = [Variable(f"X{i}") for i in range(1, size + 1)]
+    body = []
+    for i in range(size):
+        for j in range(i + 1, size):
+            body.append(Atom(relation, [variables[i], variables[j]]))
+    return ConjunctiveQuery(Atom(name, variables), body)
+
+
+def complete_views(
+    size: int,
+    num_views: int,
+    view_size: int = 2,
+    relation: str = "edge",
+    name_prefix: str = "v",
+    seed: int = 0,
+) -> ViewSet:
+    """Random clique-shaped views over the same edge relation.
+
+    Each view is a complete query over ``view_size`` variables, all of which
+    are distinguished (so the view can always participate in a rewriting).
+    """
+    rng = random.Random(seed)
+    views: List[View] = []
+    for index in range(num_views):
+        variables = [Variable(f"Y{i}") for i in range(1, view_size + 1)]
+        body = []
+        for i in range(view_size):
+            for j in range(i + 1, view_size):
+                body.append(Atom(relation, [variables[i], variables[j]]))
+        # A random subset of distinguished variables (at least two).
+        exposed_count = rng.randint(2, view_size)
+        exposed = variables[:exposed_count]
+        view_name = f"{name_prefix}{index + 1}"
+        views.append(View(view_name, ConjunctiveQuery(Atom(view_name, exposed), body)))
+    return ViewSet(views)
+
+
+# ---------------------------------------------------------------------------
+# Random queries and views
+# ---------------------------------------------------------------------------
+
+def random_query(
+    num_subgoals: int,
+    num_relations: int = 5,
+    arity: int = 2,
+    num_variables: Optional[int] = None,
+    num_distinguished: int = 2,
+    name: str = "q",
+    seed: int = 0,
+) -> ConjunctiveQuery:
+    """A random connected conjunctive query.
+
+    Subgoals pick relations uniformly; arguments pick variables uniformly from
+    a pool of ``num_variables`` (default ``num_subgoals + 1``).  The generator
+    re-draws until the query's join graph is connected, so the query cannot be
+    split into independent sub-queries.
+    """
+    rng = random.Random(seed)
+    pool_size = num_variables if num_variables is not None else num_subgoals + 1
+    variables = [Variable(f"X{i}") for i in range(1, pool_size + 1)]
+    for _attempt in range(1000):
+        body = []
+        for _ in range(num_subgoals):
+            relation = f"r{rng.randint(1, num_relations)}"
+            args = [rng.choice(variables) for _ in range(arity)]
+            body.append(Atom(relation, args))
+        used = []
+        for atom in body:
+            for var in atom.variables():
+                if var not in used:
+                    used.append(var)
+        if not used:
+            continue
+        if not _connected(body):
+            continue
+        distinguished = used[: max(1, min(num_distinguished, len(used)))]
+        return ConjunctiveQuery(Atom(name, distinguished), body)
+    raise QueryConstructionError("failed to generate a connected random query")
+
+
+def random_views(
+    num_views: int,
+    num_subgoals: int = 3,
+    num_relations: int = 5,
+    arity: int = 2,
+    num_distinguished: int = 2,
+    name_prefix: str = "v",
+    seed: int = 0,
+) -> ViewSet:
+    """A set of random views drawn from the same distribution as :func:`random_query`."""
+    views: List[View] = []
+    for index in range(num_views):
+        query = random_query(
+            num_subgoals=num_subgoals,
+            num_relations=num_relations,
+            arity=arity,
+            num_distinguished=num_distinguished,
+            name=f"{name_prefix}{index + 1}",
+            seed=seed * 7919 + index,
+        )
+        views.append(View(query.name, query))
+    return ViewSet(views)
+
+
+def _connected(body: Sequence[Atom]) -> bool:
+    """Whether the join graph (subgoals as nodes, shared variables as edges) is connected."""
+    if len(body) <= 1:
+        return True
+    adjacency: Dict[int, set] = {i: set() for i in range(len(body))}
+    for i in range(len(body)):
+        for j in range(i + 1, len(body)):
+            if set(body[i].variables()) & set(body[j].variables()):
+                adjacency[i].add(j)
+                adjacency[j].add(i)
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        node = frontier.pop()
+        for neighbour in adjacency[node]:
+            if neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append(neighbour)
+    return len(seen) == len(body)
+
+
+# ---------------------------------------------------------------------------
+# Front door
+# ---------------------------------------------------------------------------
+
+def workload(kind: str, **parameters) -> WorkloadSpec:
+    """Build a named workload: ``"chain"``, ``"star"``, ``"complete"`` or ``"random"``.
+
+    Parameters are forwarded to the underlying generators; the most useful are
+    ``length``/``arms``/``size`` (query shape) and ``num_views``/``seed``.
+    """
+    if kind == "chain":
+        length = int(parameters.get("length", 4))
+        distinct = bool(parameters.get("distinct_relations", True))
+        query = chain_query(length, distinct_relations=distinct)
+        segment_lengths = parameters.get("segment_lengths")
+        views = chain_views(
+            length,
+            segment_lengths=segment_lengths,
+            distinct_relations=distinct,
+            expose_endpoints_only=bool(parameters.get("expose_endpoints_only", True)),
+        )
+        num_views = parameters.get("num_views")
+        if num_views is not None:
+            views = ViewSet(list(views)[: int(num_views)])
+        return WorkloadSpec("chain", query, views, dict(parameters, length=length))
+    if kind == "star":
+        arms = int(parameters.get("arms", 4))
+        query = star_query(arms)
+        views = star_views(arms, arm_subsets=parameters.get("arm_subsets"))
+        num_views = parameters.get("num_views")
+        if num_views is not None:
+            views = ViewSet(list(views)[: int(num_views)])
+        return WorkloadSpec("star", query, views, dict(parameters, arms=arms))
+    if kind == "complete":
+        size = int(parameters.get("size", 3))
+        query = complete_query(size)
+        views = complete_views(
+            size,
+            num_views=int(parameters.get("num_views", 5)),
+            view_size=int(parameters.get("view_size", 2)),
+            seed=int(parameters.get("seed", 0)),
+        )
+        return WorkloadSpec("complete", query, views, dict(parameters, size=size))
+    if kind == "random":
+        query = random_query(
+            num_subgoals=int(parameters.get("num_subgoals", 4)),
+            num_relations=int(parameters.get("num_relations", 5)),
+            seed=int(parameters.get("seed", 0)),
+        )
+        views = random_views(
+            num_views=int(parameters.get("num_views", 10)),
+            num_subgoals=int(parameters.get("view_subgoals", 3)),
+            num_relations=int(parameters.get("num_relations", 5)),
+            seed=int(parameters.get("seed", 0)) + 1,
+        )
+        return WorkloadSpec("random", query, views, dict(parameters))
+    raise QueryConstructionError(
+        f"unknown workload kind {kind!r}; expected chain, star, complete or random"
+    )

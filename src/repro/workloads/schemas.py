@@ -1,0 +1,225 @@
+"""Realistic schemas used by the examples and the query-optimization benchmark.
+
+Three scenarios are provided:
+
+* :func:`paper_example` — a citation-database scenario reconstructed from the
+  paper's running example (queries about mutually-citing papers on the same
+  topic, with views materializing related joins);
+* :func:`university_schema` — enrollment/teaching/advising, the classic query
+  optimization scenario where views materialize common joins;
+* :func:`enterprise_schema` — orders/products/customers, a star-schema-style
+  scenario for the partial-rewriting and usefulness experiments.
+
+Each function returns a :class:`Scenario` carrying the query (or queries),
+the views, and a deterministic database generator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.datalog.parser import parse_program, parse_query, parse_views
+from repro.datalog.queries import ConjunctiveQuery
+from repro.datalog.views import ViewSet
+from repro.engine.database import Database
+
+
+@dataclass
+class Scenario:
+    """A named scenario: queries, views, and a database generator."""
+
+    name: str
+    queries: Dict[str, ConjunctiveQuery]
+    views: ViewSet
+    make_database: Callable[[int, int], Database]
+    description: str = ""
+
+    @property
+    def query(self) -> ConjunctiveQuery:
+        """The scenario's primary query (first one declared)."""
+        return next(iter(self.queries.values()))
+
+
+# ---------------------------------------------------------------------------
+# Paper running example (citation database)
+# ---------------------------------------------------------------------------
+
+def paper_example() -> Scenario:
+    """The citation-database running example.
+
+    The query asks for pairs of papers that cite each other and are on the
+    same topic.  The views materialize (a) mutual citations, (b) same-topic
+    pairs, and (c) a join that is *not* usable for an equivalent rewriting
+    because it loses the intermediate paper — the paper's vehicle for showing
+    that a view mentioning the right relations need not be usable.
+    """
+    queries = {
+        "mutual_same_topic": parse_query(
+            "q(X, Y) :- cites(X, Y), cites(Y, X), same_topic(X, Y)."
+        ),
+        "co_cited": parse_query(
+            "q2(X, Y) :- cites(X, Z), cites(Y, Z), same_topic(X, Y)."
+        ),
+    }
+    views = parse_views(
+        """
+        v_mutual(A, B) :- cites(A, B), cites(B, A).
+        v_topic(A, B) :- same_topic(A, B).
+        v_chain(A, B) :- cites(A, C), cites(C, B), same_topic(A, C).
+        v_cited_by(A) :- cites(A, B).
+        """
+    )
+
+    def make_database(size: int = 60, seed: int = 0) -> Database:
+        rng = random.Random(seed)
+        database = Database()
+        database.ensure_relation("cites", 2)
+        database.ensure_relation("same_topic", 2)
+        papers = [f"p{i}" for i in range(size)]
+        for _ in range(size * 4):
+            a, b = rng.choice(papers), rng.choice(papers)
+            if a != b:
+                database.add_fact("cites", (a, b))
+                if rng.random() < 0.3:
+                    database.add_fact("cites", (b, a))
+        for _ in range(size * 2):
+            a, b = rng.choice(papers), rng.choice(papers)
+            database.add_fact("same_topic", (a, b))
+            database.add_fact("same_topic", (b, a))
+        return database
+
+    return Scenario(
+        name="paper-example",
+        queries=queries,
+        views=views,
+        make_database=make_database,
+        description="Citation database running example (mutually-citing same-topic papers).",
+    )
+
+
+# ---------------------------------------------------------------------------
+# University enrollment
+# ---------------------------------------------------------------------------
+
+def university_schema() -> Scenario:
+    """Enrollment / teaching / advising scenario for query optimization.
+
+    The primary query finds students enrolled in a course taught by their own
+    advisor; the views materialize the enrollment-teaching join and the
+    advising relation, so an equivalent rewriting exists and is much cheaper
+    than the three-way join over the base relations.
+    """
+    queries = {
+        "advisor_teaches": parse_query(
+            "q(S, C) :- enrolled(S, C), teaches(P, C), advises(P, S)."
+        ),
+        "classmates": parse_query(
+            "q_cls(S1, S2) :- enrolled(S1, C), enrolled(S2, C)."
+        ),
+        "graded_by_advisor": parse_query(
+            "q_gr(S, G) :- grade(S, C, G), teaches(P, C), advises(P, S)."
+        ),
+    }
+    views = parse_views(
+        """
+        v_advisor_class(S, C) :- enrolled(S, C), teaches(P, C), advises(P, S).
+        v_enrolled_taught(S, C, P) :- enrolled(S, C), teaches(P, C).
+        v_advises(P, S) :- advises(P, S).
+        v_enrolled(S, C) :- enrolled(S, C).
+        v_grades(S, C, G) :- grade(S, C, G).
+        """
+    )
+
+    def make_database(size: int = 100, seed: int = 0) -> Database:
+        rng = random.Random(seed)
+        database = Database()
+        students = [f"s{i}" for i in range(size)]
+        courses = [f"c{i}" for i in range(max(5, size // 5))]
+        professors = [f"prof{i}" for i in range(max(3, size // 10))]
+        grades = ["A", "B", "C", "D"]
+        database.ensure_relation("enrolled", 2)
+        database.ensure_relation("teaches", 2)
+        database.ensure_relation("advises", 2)
+        database.ensure_relation("grade", 3)
+        for course in courses:
+            database.add_fact("teaches", (rng.choice(professors), course))
+        for student in students:
+            database.add_fact("advises", (rng.choice(professors), student))
+            for _ in range(rng.randint(1, 4)):
+                course = rng.choice(courses)
+                database.add_fact("enrolled", (student, course))
+                database.add_fact("grade", (student, course, rng.choice(grades)))
+        return database
+
+    return Scenario(
+        name="university",
+        queries=queries,
+        views=views,
+        make_database=make_database,
+        description="Enrollment/teaching/advising; views materialize common joins.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Enterprise sales
+# ---------------------------------------------------------------------------
+
+def enterprise_schema() -> Scenario:
+    """Orders / products / customers scenario for partial rewritings.
+
+    The primary query joins orders with product and customer dimensions; the
+    views cover the order-product join and the customer dimension, so partial
+    rewritings (views plus one base relation) are the interesting plans.
+    """
+    queries = {
+        "regional_sales": parse_query(
+            "q(O, P, R) :- order(O, P, C), product(P, Cat), customer(C, R)."
+        ),
+        "category_orders": parse_query(
+            "q_cat(O, Cat) :- order(O, P, C), product(P, Cat)."
+        ),
+    }
+    views = parse_views(
+        """
+        v_order_product(O, P, C, Cat) :- order(O, P, C), product(P, Cat).
+        v_customer(C, R) :- customer(C, R).
+        v_order(O, P, C) :- order(O, P, C).
+        """
+    )
+
+    def make_database(size: int = 200, seed: int = 0) -> Database:
+        rng = random.Random(seed)
+        database = Database()
+        products = [f"prod{i}" for i in range(max(5, size // 10))]
+        categories = ["books", "music", "games", "tools"]
+        customers = [f"cust{i}" for i in range(max(5, size // 5))]
+        regions = ["north", "south", "east", "west"]
+        database.ensure_relation("order", 3)
+        database.ensure_relation("product", 2)
+        database.ensure_relation("customer", 2)
+        for product in products:
+            database.add_fact("product", (product, rng.choice(categories)))
+        for customer in customers:
+            database.add_fact("customer", (customer, rng.choice(regions)))
+        for index in range(size):
+            database.add_fact(
+                "order", (f"o{index}", rng.choice(products), rng.choice(customers))
+            )
+        return database
+
+    return Scenario(
+        name="enterprise",
+        queries=queries,
+        views=views,
+        make_database=make_database,
+        description="Orders/products/customers star schema for partial rewritings.",
+    )
+
+
+ALL_SCENARIOS = {
+    "paper-example": paper_example,
+    "university": university_schema,
+    "enterprise": enterprise_schema,
+}

@@ -1,0 +1,144 @@
+"""Tests for CQ / UCQ containment and equivalence."""
+
+import pytest
+
+from repro.datalog.parser import parse_query
+from repro.datalog.queries import UnionQuery
+from repro.containment.containment import (
+    is_contained,
+    is_contained_in_union,
+    is_equivalent,
+    is_satisfiable,
+    union_contained_in,
+    union_equivalent,
+)
+
+
+class TestPureCQContainment:
+    def test_adding_subgoals_makes_query_more_specific(self):
+        general = parse_query("q(X) :- r(X, Y).")
+        specific = parse_query("q(X) :- r(X, Y), s(Y).")
+        assert is_contained(specific, general)
+        assert not is_contained(general, specific)
+
+    def test_cycle_containment(self):
+        two_cycle = parse_query("q(X) :- e(X, Y), e(Y, X).")
+        four_cycle = parse_query("q(X) :- e(X, Y), e(Y, Z), e(Z, W), e(W, X).")
+        assert is_contained(two_cycle, four_cycle)
+        assert not is_contained(four_cycle, two_cycle)
+
+    def test_constants_make_queries_more_specific(self):
+        general = parse_query("q(X) :- r(X, Y).")
+        specific = parse_query("q(X) :- r(X, 5).")
+        assert is_contained(specific, general)
+        assert not is_contained(general, specific)
+
+    def test_repeated_variables(self):
+        diagonal = parse_query("q(X) :- r(X, X).")
+        general = parse_query("q(X) :- r(X, Y).")
+        assert is_contained(diagonal, general)
+        assert not is_contained(general, diagonal)
+
+    def test_incomparable_queries(self):
+        left = parse_query("q(X) :- r(X, Y).")
+        right = parse_query("q(X) :- s(X, Y).")
+        assert not is_contained(left, right)
+        assert not is_contained(right, left)
+
+    def test_equivalence_up_to_redundancy(self):
+        redundant = parse_query("q(X) :- r(X, Y), r(X, Z).")
+        minimal = parse_query("q(X) :- r(X, Y).")
+        assert is_equivalent(redundant, minimal)
+
+    def test_equivalence_up_to_renaming(self):
+        q1 = parse_query("q(A) :- r(A, B), s(B, A).")
+        q2 = parse_query("q(X) :- s(Y, X), r(X, Y).")
+        assert is_equivalent(q1, q2)
+
+    def test_non_equivalence(self):
+        assert not is_equivalent(
+            parse_query("q(X) :- r(X, Y)."), parse_query("q(X) :- r(Y, X).")
+        )
+
+    def test_boolean_query_containment(self):
+        exists_edge = parse_query("q() :- e(X, Y).")
+        exists_path = parse_query("q() :- e(X, Y), e(Y, Z).")
+        assert is_contained(exists_path, exists_edge)
+        assert not is_contained(exists_edge, exists_path)
+
+
+class TestComparisonContainment:
+    def test_tighter_bound_is_contained(self):
+        tight = parse_query("q(X) :- r(X, Y), Y > 5.")
+        loose = parse_query("q(X) :- r(X, Y), Y > 3.")
+        assert is_contained(tight, loose)
+        assert not is_contained(loose, tight)
+
+    def test_strict_versus_nonstrict(self):
+        strict = parse_query("q() :- r(X, Y), X < Y.")
+        nonstrict = parse_query("q() :- r(X, Y), X <= Y.")
+        assert is_contained(strict, nonstrict)
+        assert not is_contained(nonstrict, strict)
+
+    def test_unsatisfiable_query_contained_in_everything(self):
+        empty = parse_query("q(X) :- r(X, Y), Y < 3, Y > 5.")
+        other = parse_query("q(X) :- s(X).")
+        assert is_satisfiable(parse_query("q(X) :- r(X, Y), Y > 5."))
+        assert not is_satisfiable(empty)
+        assert is_contained(empty, other)
+
+    def test_case_split_containment(self):
+        # Over a dense order, r(X,Y),r(Y,X) ⊑ r(X,Y),X<=Y ∪ r(X,Y),X>=Y — the
+        # disjunct-free version: q1 ⊑ q2 where q2 needs different mappings for
+        # the X<Y, X=Y and X>Y cases.
+        q1 = parse_query("q() :- r(X, Y), r(Y, X).")
+        q2 = parse_query("q() :- r(A, B), A <= B.")
+        assert is_contained(q1, q2)
+
+    def test_comparison_on_distinguished_variables(self):
+        tight = parse_query("q(X, Y) :- r(X, Y), X < Y, Y < 10.")
+        loose = parse_query("q(X, Y) :- r(X, Y), X < 10.")
+        assert is_contained(tight, loose)
+        assert not is_contained(loose, tight)
+
+    def test_equality_comparison_acts_like_constant(self):
+        with_eq = parse_query("q(X) :- r(X, Y), Y = 5.")
+        with_const = parse_query("q(X) :- r(X, 5).")
+        assert is_equivalent(with_eq, with_const)
+
+
+class TestUnionContainment:
+    def test_cq_contained_in_union_via_one_disjunct(self):
+        query = parse_query("q(X) :- r(X, Y), s(Y).")
+        union = UnionQuery(
+            [parse_query("q(X) :- r(X, Y)."), parse_query("q(X) :- t(X).")]
+        )
+        assert is_contained(query, union)
+
+    def test_cq_not_contained_in_union(self):
+        query = parse_query("q(X) :- u(X).")
+        union = UnionQuery(
+            [parse_query("q(X) :- r(X, Y)."), parse_query("q(X) :- t(X).")]
+        )
+        assert not is_contained(query, union)
+
+    def test_union_contained_in_cq(self):
+        union = UnionQuery(
+            [
+                parse_query("q(X) :- r(X, Y), s(Y)."),
+                parse_query("q(X) :- r(X, 5)."),
+            ]
+        )
+        container = parse_query("q(X) :- r(X, Y).")
+        assert is_contained(union, container)
+        assert union_contained_in(list(union), container)
+
+    def test_union_equivalence(self):
+        left = [parse_query("q(X) :- r(X)."), parse_query("q(X) :- s(X).")]
+        right = [parse_query("q(A) :- s(A)."), parse_query("q(B) :- r(B).")]
+        assert union_equivalent(left, right)
+        assert not union_equivalent(left, [parse_query("q(X) :- r(X).")])
+
+    def test_helper_wrapper(self):
+        query = parse_query("q(X) :- r(X, 1).")
+        assert is_contained_in_union(query, [parse_query("q(X) :- r(X, Y).")])

@@ -1,0 +1,90 @@
+"""Tests for containment mappings / homomorphisms."""
+
+from repro.datalog.parser import parse_atom, parse_query
+from repro.datalog.substitution import Substitution
+from repro.datalog.terms import Constant, Variable
+from repro.containment.homomorphism import (
+    containment_mappings,
+    count_containment_mappings,
+    find_containment_mapping,
+    find_homomorphism,
+    homomorphisms,
+)
+
+
+class TestHomomorphisms:
+    def test_simple_mapping(self):
+        source = [parse_atom("r(X, Y)")]
+        target = [parse_atom("r(a, b)")]
+        mapping = find_homomorphism(source, target)
+        assert mapping is not None
+        assert mapping[Variable("X")] == Constant("a")
+
+    def test_no_mapping_when_predicate_missing(self):
+        assert find_homomorphism([parse_atom("s(X)")], [parse_atom("r(a)")]) is None
+
+    def test_non_injective_mapping_allowed(self):
+        source = [parse_atom("r(X, Y)"), parse_atom("r(Y, Z)")]
+        target = [parse_atom("r(a, a)")]
+        mapping = find_homomorphism(source, target)
+        assert mapping is not None
+        assert mapping[Variable("X")] == Constant("a")
+        assert mapping[Variable("Z")] == Constant("a")
+
+    def test_seed_constrains_search(self):
+        source = [parse_atom("r(X, Y)")]
+        target = [parse_atom("r(a, b)"), parse_atom("r(c, d)")]
+        seed = Substitution({Variable("X"): Constant("c")})
+        mapping = find_homomorphism(source, target, seed)
+        assert mapping is not None
+        assert mapping[Variable("Y")] == Constant("d")
+
+    def test_all_mappings_enumerated(self):
+        source = [parse_atom("r(X)")]
+        target = [parse_atom("r(a)"), parse_atom("r(b)")]
+        assert len(list(homomorphisms(source, target))) == 2
+
+    def test_constants_must_match(self):
+        assert find_homomorphism([parse_atom("r(X, 5)")], [parse_atom("r(a, 6)")]) is None
+        assert find_homomorphism([parse_atom("r(X, 5)")], [parse_atom("r(a, 5)")]) is not None
+
+
+class TestContainmentMappings:
+    def test_mapping_witnesses_containment(self):
+        # q2 (4-cycle) is contained in q1 (2-cycle): mapping from q1 into q2.
+        q1 = parse_query("q(X) :- cites(X, Y), cites(Y, X).")
+        q2 = parse_query("q(X) :- cites(X, Y), cites(Y, Z), cites(Z, W), cites(W, X).")
+        assert find_containment_mapping(q2, q1) is not None  # q1 ⊑ q2
+        assert find_containment_mapping(q1, q2) is None  # q2 ⊑ q1 fails
+
+    def test_head_predicate_must_match(self):
+        q1 = parse_query("q(X) :- r(X).")
+        q2 = parse_query("p(X) :- r(X).")
+        assert find_containment_mapping(q1, q2) is None
+
+    def test_head_arity_must_match(self):
+        q1 = parse_query("q(X) :- r(X, Y).")
+        q2 = parse_query("q(X, Y) :- r(X, Y).")
+        assert find_containment_mapping(q1, q2) is None
+
+    def test_head_constants_must_agree(self):
+        q1 = parse_query("q(5) :- r(5).")
+        q2 = parse_query("q(6) :- r(6).")
+        assert find_containment_mapping(q1, q2) is None
+        assert find_containment_mapping(q1, parse_query("q(5) :- r(5), s(1).")) is not None
+
+    def test_count_mappings(self):
+        general = parse_query("q(X) :- r(X, Y).")
+        specific = parse_query("q(X) :- r(X, Y), r(X, Z).")
+        # The single subgoal of `general` can map onto either subgoal of `specific`.
+        assert count_containment_mappings(general, specific) == 2
+
+    def test_identity_mapping_exists(self):
+        query = parse_query("q(X) :- r(X, Y), s(Y, X).")
+        assert find_containment_mapping(query, query) is not None
+
+    def test_mappings_are_substitutions_on_source_variables(self):
+        source = parse_query("q(X) :- r(X, Y).")
+        target = parse_query("q(A) :- r(A, 7).")
+        for mapping in containment_mappings(source, target):
+            assert mapping[Variable("Y")] == Constant(7)

@@ -1,0 +1,114 @@
+"""Tests for variable freshening, canonical databases and pretty-printing."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, Comparison
+from repro.datalog.canonical import (
+    canonical_database,
+    freeze_query,
+    freezing_substitution,
+    is_frozen_constant,
+    unfreeze_atom,
+    unfreeze_term,
+)
+from repro.datalog.freshen import FreshVariableFactory, rename_apart
+from repro.datalog.parser import parse_query, parse_views
+from repro.datalog.printer import to_datalog
+from repro.datalog.queries import UnionQuery
+from repro.datalog.terms import Constant, Variable
+
+
+class TestFreshVariableFactory:
+    def test_reserved_names_are_skipped(self):
+        factory = FreshVariableFactory(reserved=["X", "_F1"])
+        produced = {factory.fresh().name for _ in range(5)}
+        assert "X" not in produced
+        assert "_F1" not in produced
+
+    def test_hint_is_used_when_free(self):
+        factory = FreshVariableFactory()
+        assert factory.fresh("Y").name == "Y"
+        assert factory.fresh("Y").name == "Y_1"
+
+    def test_fresh_many(self):
+        factory = FreshVariableFactory()
+        names = [v.name for v in factory.fresh_many(3)]
+        assert len(set(names)) == 3
+
+    def test_never_repeats(self):
+        factory = FreshVariableFactory()
+        names = [factory.fresh().name for _ in range(100)]
+        assert len(set(names)) == 100
+
+
+class TestRenameApart:
+    def test_only_clashing_variables_renamed(self):
+        renaming = rename_apart([Variable("X"), Variable("Y")], [Variable("X")])
+        assert Variable("X") in renaming
+        assert Variable("Y") not in renaming
+
+    def test_result_avoids_both_sides(self):
+        own = [Variable("X"), Variable("Y")]
+        avoid = [Variable("X"), Variable("Y"), Variable("X_1")]
+        renaming = rename_apart(own, avoid)
+        for target in renaming.values():
+            assert target not in avoid
+            assert target not in own
+
+
+class TestCanonicalDatabase:
+    def test_freeze_query_produces_ground_atoms(self):
+        query = parse_query("q(X) :- r(X, Y), s(Y, 5).")
+        head, facts, substitution = freeze_query(query)
+        assert head.is_ground()
+        assert all(f.is_ground() for f in facts)
+        assert len(substitution) == 2
+
+    def test_tag_namespaces_constants(self):
+        query = parse_query("q(X) :- r(X).")
+        _, facts_a, _ = freeze_query(query, "a")
+        _, facts_b, _ = freeze_query(query, "b")
+        assert facts_a != facts_b
+
+    def test_canonical_database_evaluates_query_to_head(self):
+        from repro.engine.evaluate import evaluate
+
+        query = parse_query("q(X) :- r(X, Y), s(Y).")
+        database = canonical_database(query)
+        frozen_head, _, _ = freeze_query(query)
+        answers = evaluate(query, database)
+        assert tuple(t.value for t in frozen_head.args) in answers
+
+    def test_unfreeze_round_trip(self):
+        query = parse_query("q(X) :- r(X, Y).")
+        substitution = freezing_substitution(query, "tag")
+        frozen = substitution.apply_atom(query.body[0])
+        assert is_frozen_constant(frozen.args[0])
+        assert unfreeze_atom(frozen) == query.body[0]
+        assert unfreeze_term(Constant(3)) == Constant(3)
+
+
+class TestPrinter:
+    def test_query_with_comparisons(self):
+        text = "q(X) :- r(X, Y), X < Y, Y != 3."
+        assert to_datalog(parse_query(text)) == text
+
+    def test_fact_rendering(self):
+        query = parse_query("q(a, 1).")
+        assert to_datalog(query) == "q(a, 1)."
+
+    def test_union_rendering(self):
+        union = UnionQuery([parse_query("q(X) :- r(X)."), parse_query("q(X) :- s(X).")])
+        assert to_datalog(union).count("\n") == 1
+
+    def test_views_rendering(self):
+        views = parse_views("v1(X) :- r(X). v2(X) :- s(X).")
+        assert to_datalog(views).splitlines() == ["v1(X) :- r(X).", "v2(X) :- s(X)."]
+
+    def test_atom_and_comparison(self):
+        assert to_datalog(Atom("r", ["X", 1])) == "r(X, 1)"
+        assert to_datalog(Comparison("X", "<=", 2)) == "X <= 2"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_datalog(42)

@@ -1,0 +1,142 @@
+"""Tests for the datalog text parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.datalog.atoms import Atom, Comparison
+from repro.datalog.parser import (
+    parse_atom,
+    parse_database,
+    parse_program,
+    parse_query,
+    parse_view,
+    parse_views,
+)
+from repro.datalog.printer import to_datalog
+from repro.datalog.terms import Constant, Variable
+
+
+class TestParseAtom:
+    def test_simple(self):
+        assert parse_atom("r(X, Y)") == Atom("r", ["X", "Y"])
+
+    def test_constants(self):
+        atom = parse_atom("person(alice, 42, 'New York', 3.5)")
+        assert atom.args == (
+            Constant("alice"),
+            Constant(42),
+            Constant("New York"),
+            Constant(3.5),
+        )
+
+    def test_negative_numbers(self):
+        assert parse_atom("t(-3, -2.5)") == Atom("t", [-3, -2.5])
+
+    def test_zero_arity(self):
+        assert parse_atom("done()") == Atom("done", [])
+
+    def test_double_quoted_strings(self):
+        assert parse_atom('r("hello world")') == Atom("r", ["hello world"])
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("r(X) extra")
+
+    def test_uppercase_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(X)")
+
+
+class TestParseQuery:
+    def test_simple_rule(self):
+        query = parse_query("q(X, Y) :- r(X, Z), s(Z, Y).")
+        assert query.size() == 2
+        assert query.head == Atom("q", ["X", "Y"])
+
+    def test_alternative_arrow(self):
+        query = parse_query("q(X) <- r(X).")
+        assert query.size() == 1
+
+    def test_comparisons(self):
+        query = parse_query("q(X) :- r(X, Y), X < Y, Y != 10, X >= 0.")
+        assert len(query.comparisons) == 3
+        assert Comparison("X", "<", "Y") in query.comparisons
+
+    def test_missing_period_tolerated(self):
+        assert parse_query("q(X) :- r(X)").size() == 1
+
+    def test_comments_ignored(self):
+        query = parse_query(
+            """
+            % the query
+            q(X) :- r(X, Y),  # inline comment
+                    s(Y).
+            """
+        )
+        assert query.size() == 2
+
+    def test_unsafe_query_rejected(self):
+        with pytest.raises(Exception):
+            parse_query("q(X) :- r(Y, Z).")
+
+    def test_multiple_rules_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("q(X) :- r(X). q(Y) :- s(Y).")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_query("q(X) :- r(X) & s(X).")
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_query("q(X) :- r(X), $(Y).")
+        assert "line" in str(info.value)
+
+
+class TestParseProgramViewsDatabase:
+    def test_parse_program(self):
+        rules = parse_program(
+            """
+            q(X) :- v1(X, Y), v2(Y).
+            v1(A, B) :- r(A, B).
+            v2(A) :- s(A).
+            """
+        )
+        assert [r.name for r in rules] == ["q", "v1", "v2"]
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("   % nothing here\n")
+
+    def test_parse_views_unique_names(self):
+        views = parse_views("v1(X) :- r(X). v2(X) :- s(X).")
+        assert views.names() == ("v1", "v2")
+
+    def test_parse_view_custom_name(self):
+        view = parse_view("v(X) :- r(X, Y).", name="mirror")
+        assert view.name == "mirror"
+        assert view.definition.head.predicate == "mirror"
+
+    def test_parse_database(self):
+        facts = parse_database("r(a, b). r(b, c). s(1).")
+        assert len(facts) == 3
+        assert facts[0] == Atom("r", ["a", "b"])
+
+    def test_parse_database_rejects_variables(self):
+        with pytest.raises(ParseError):
+            parse_database("r(a, X).")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "q(X, Y) :- r(X, Z), s(Z, Y).",
+            "q(X) :- r(X, 5), X > 2, X != 7.",
+            "q() :- r(X, X).",
+            "q(X) :- person(X, 'New York'), r(X, alice).",
+        ],
+    )
+    def test_print_then_parse_is_identity(self, text):
+        query = parse_query(text)
+        assert parse_query(to_datalog(query)) == query

@@ -1,0 +1,157 @@
+"""Tests for substitutions, unification and matching."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, Comparison
+from repro.datalog.substitution import Substitution, match_atom, unify_atoms, unify_terms
+from repro.datalog.terms import Constant, FunctionTerm, Variable
+
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestSubstitution:
+    def test_of_helper(self):
+        subst = Substitution.of(X="a", Y="B")
+        assert subst[X] == Constant("a")
+        assert subst[Y] == Variable("B")
+
+    def test_apply_term(self):
+        subst = Substitution({X: Constant(1)})
+        assert subst.apply_term(X) == Constant(1)
+        assert subst.apply_term(Y) == Y
+        assert subst.apply_term(Constant(5)) == Constant(5)
+
+    def test_apply_function_term_recursively(self):
+        subst = Substitution({X: Constant(1)})
+        term = FunctionTerm("f", [X, Y])
+        assert subst.apply_term(term) == FunctionTerm("f", [Constant(1), Y])
+
+    def test_apply_atom_and_comparison(self):
+        subst = Substitution({X: Constant("a")})
+        assert subst.apply_atom(Atom("r", [X, Y])) == Atom("r", ["a", "Y"])
+        assert subst.apply_comparison(Comparison(X, "<", Y)) == Comparison("a", "<", "Y")
+
+    def test_bind_new_variable(self):
+        subst = Substitution.empty().bind(X, Constant(1))
+        assert subst[X] == Constant(1)
+
+    def test_bind_conflict_raises(self):
+        subst = Substitution({X: Constant(1)})
+        with pytest.raises(ValueError):
+            subst.bind(X, Constant(2))
+
+    def test_bind_same_value_is_noop(self):
+        subst = Substitution({X: Constant(1)})
+        assert subst.bind(X, Constant(1)) == subst
+
+    def test_merge_compatible(self):
+        merged = Substitution({X: Constant(1)}).merge(Substitution({Y: Constant(2)}))
+        assert merged is not None
+        assert dict(merged) == {X: Constant(1), Y: Constant(2)}
+
+    def test_merge_conflict_returns_none(self):
+        assert Substitution({X: Constant(1)}).merge(Substitution({X: Constant(2)})) is None
+
+    def test_compose_applies_left_then_right(self):
+        first = Substitution({X: Y})
+        second = Substitution({Y: Constant(1)})
+        composed = first.compose(second)
+        assert composed.apply_term(X) == Constant(1)
+        assert composed.apply_term(Y) == Constant(1)
+
+    def test_restrict_and_without(self):
+        subst = Substitution({X: Constant(1), Y: Constant(2)})
+        assert dict(subst.restrict([X])) == {X: Constant(1)}
+        assert dict(subst.without([X])) == {Y: Constant(2)}
+
+    def test_is_renaming_and_inverse(self):
+        renaming = Substitution({X: Y, Z: Variable("W")})
+        assert renaming.is_renaming()
+        inverse = renaming.inverse()
+        assert inverse is not None
+        assert inverse[Y] == X
+
+    def test_non_renaming_has_no_inverse(self):
+        assert Substitution({X: Constant(1)}).inverse() is None
+        assert not Substitution({X: Y, Z: Y}).is_renaming()
+
+    def test_rejects_non_variable_keys(self):
+        with pytest.raises(TypeError):
+            Substitution({Constant(1): Constant(2)})
+
+
+class TestUnifyTerms:
+    def test_variable_with_constant(self):
+        result = unify_terms(X, Constant(1))
+        assert result is not None and result[X] == Constant(1)
+
+    def test_two_variables(self):
+        result = unify_terms(X, Y)
+        assert result is not None
+        assert result.apply_term(X) == result.apply_term(Y)
+
+    def test_distinct_constants_fail(self):
+        assert unify_terms(Constant(1), Constant(2)) is None
+
+    def test_chained_bindings_are_normalized(self):
+        step1 = unify_terms(X, Y)
+        step2 = unify_terms(Y, Constant(3), step1)
+        assert step2 is not None
+        assert step2.apply_term(X) == Constant(3)
+
+    def test_occurs_check(self):
+        assert unify_terms(X, FunctionTerm("f", [X])) is None
+
+    def test_function_terms_unify_recursively(self):
+        result = unify_terms(FunctionTerm("f", [X]), FunctionTerm("f", [Constant(1)]))
+        assert result is not None and result[X] == Constant(1)
+
+    def test_function_terms_different_names_fail(self):
+        assert unify_terms(FunctionTerm("f", [X]), FunctionTerm("g", [X])) is None
+
+
+class TestUnifyAtoms:
+    def test_basic_unification(self):
+        result = unify_atoms(Atom("r", [X, "b"]), Atom("r", ["a", Y]))
+        assert result is not None
+        assert result[X] == Constant("a")
+        assert result[Y] == Constant("b")
+
+    def test_predicate_mismatch(self):
+        assert unify_atoms(Atom("r", [X]), Atom("s", [X])) is None
+
+    def test_arity_mismatch(self):
+        assert unify_atoms(Atom("r", [X]), Atom("r", [X, Y])) is None
+
+    def test_repeated_variables_propagate(self):
+        result = unify_atoms(Atom("r", [X, X]), Atom("r", ["a", Y]))
+        assert result is not None
+        assert result.apply_term(Y) == Constant("a")
+
+    def test_conflicting_constants(self):
+        assert unify_atoms(Atom("r", ["a", X]), Atom("r", ["b", Y])) is None
+
+
+class TestMatchAtom:
+    def test_one_way_matching_binds_pattern_only(self):
+        result = match_atom(Atom("r", [X, Y]), Atom("r", ["a", "b"]))
+        assert result is not None
+        assert result[X] == Constant("a")
+
+    def test_target_variables_are_treated_as_constants(self):
+        # Pattern constant vs target variable must fail (no binding of target).
+        assert match_atom(Atom("r", ["a"]), Atom("r", [X])) is None
+
+    def test_pattern_variable_can_map_to_target_variable(self):
+        result = match_atom(Atom("r", [X]), Atom("r", [Z]))
+        assert result is not None and result[X] == Z
+
+    def test_repeated_pattern_variable_must_match_same_value(self):
+        assert match_atom(Atom("r", [X, X]), Atom("r", ["a", "b"])) is None
+        assert match_atom(Atom("r", [X, X]), Atom("r", ["a", "a"])) is not None
+
+    def test_extends_existing_substitution(self):
+        seed = Substitution({X: Constant("a")})
+        assert match_atom(Atom("r", [X]), Atom("r", ["b"]), seed) is None
+        assert match_atom(Atom("r", [X]), Atom("r", ["a"]), seed) is not None

@@ -1,0 +1,85 @@
+"""Tests for views and view sets."""
+
+import pytest
+
+from repro.errors import QueryConstructionError
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_query, parse_views
+from repro.datalog.terms import Variable
+from repro.datalog.views import View, ViewSet, make_views
+
+
+class TestView:
+    def test_head_predicate_normalized_to_view_name(self):
+        view = View("cache", parse_query("anything(X) :- r(X, Y)."))
+        assert view.head.predicate == "cache"
+        assert view.definition.name == "cache"
+
+    def test_arity_and_variables(self):
+        view = View("v", parse_query("v(X, Y) :- r(X, Z), s(Z, Y)."))
+        assert view.arity == 2
+        assert view.head_variables() == (Variable("X"), Variable("Y"))
+        assert set(view.existential_variables()) == {Variable("Z")}
+
+    def test_atom_builder_checks_arity(self):
+        view = View("v", parse_query("v(X, Y) :- r(X, Y)."))
+        assert view.atom(["A", "B"]) == Atom("v", ["A", "B"])
+        with pytest.raises(QueryConstructionError):
+            view.atom(["A"])
+
+    def test_covers_predicate(self):
+        view = View("v", parse_query("v(X) :- r(X, Y), s(Y)."))
+        assert view.covers_predicate("r")
+        assert not view.covers_predicate("t")
+
+    def test_equality(self):
+        v1 = View("v", parse_query("v(X) :- r(X, Y)."))
+        v2 = View("v", parse_query("v(X) :- r(X, Y)."))
+        v3 = View("v", parse_query("v(X) :- r(Y, X)."))
+        assert v1 == v2
+        assert v1 != v3
+
+    def test_invalid_construction(self):
+        with pytest.raises(QueryConstructionError):
+            View("", parse_query("v(X) :- r(X)."))
+        with pytest.raises(QueryConstructionError):
+            View("v", "not a query")
+
+
+class TestViewSet:
+    def test_lookup_and_iteration(self):
+        views = parse_views("v1(X) :- r(X). v2(X) :- s(X).")
+        assert views["v1"].name == "v1"
+        assert "v2" in views
+        assert "v3" not in views
+        assert [v.name for v in views] == ["v1", "v2"]
+
+    def test_duplicate_names_rejected(self):
+        view = View("v", parse_query("v(X) :- r(X)."))
+        with pytest.raises(QueryConstructionError):
+            ViewSet([view, view])
+
+    def test_add_extend_restrict(self):
+        views = parse_views("v1(X) :- r(X).")
+        extra = View("v2", parse_query("v2(X) :- s(X)."))
+        extended = views.add(extra)
+        assert len(extended) == 2
+        assert len(views) == 1  # original untouched
+        assert extended.restrict(["v2"]).names() == ("v2",)
+
+    def test_covering(self):
+        views = parse_views("v1(X) :- r(X, Y). v2(X) :- s(X).")
+        assert [v.name for v in views.covering("r")] == ["v1"]
+
+    def test_is_view_predicate(self):
+        views = parse_views("v1(X) :- r(X).")
+        assert views.is_view_predicate("v1")
+        assert not views.is_view_predicate("r")
+
+    def test_make_views_uses_head_names(self):
+        views = make_views([parse_query("a(X) :- r(X)."), parse_query("b(X) :- s(X).")])
+        assert views.names() == ("a", "b")
+
+    def test_get_with_default(self):
+        views = parse_views("v1(X) :- r(X).")
+        assert views.get("missing") is None

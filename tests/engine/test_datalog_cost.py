@@ -1,0 +1,119 @@
+"""Tests for datalog program evaluation and the cost model."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_program, parse_query
+from repro.datalog.queries import ConjunctiveQuery
+from repro.datalog.terms import FunctionTerm, Variable
+from repro.engine.cost import CostModel, estimate_cost, measured_cost, plan_comparison
+from repro.engine.database import Database
+from repro.engine.datalog import DatalogProgram, evaluate_program
+from repro.engine.relation import SkolemValue
+
+
+class TestDatalogProgram:
+    def test_intensional_and_extensional(self):
+        program = DatalogProgram(parse_program("p(X) :- e(X, Y). q(X) :- p(X), f(X)."))
+        assert program.intensional_predicates() == {"p", "q"}
+        assert program.extensional_predicates() == {"e", "f"}
+
+    def test_stratify_orders_dependencies_first(self):
+        program = DatalogProgram(parse_program("q(X) :- p(X). p(X) :- e(X)."))
+        strata = program.stratify()
+        order = [rule.head.predicate for stratum in strata for rule in stratum]
+        assert order.index("p") < order.index("q")
+
+    def test_non_recursive_evaluation(self):
+        program = DatalogProgram(
+            parse_program("p(X, Z) :- e(X, Y), e(Y, Z). q(X) :- p(X, 3).")
+        )
+        database = Database.from_dict({"e": [(1, 2), (2, 3)]})
+        result = evaluate_program(program, database)
+        assert result.tuples("p") == frozenset({(1, 3)})
+        assert result.tuples("q") == frozenset({(1,)})
+
+    def test_recursive_transitive_closure(self):
+        program = DatalogProgram(
+            parse_program(
+                """
+                path(X, Y) :- edge(X, Y).
+                path(X, Z) :- path(X, Y), edge(Y, Z).
+                """
+            )
+        )
+        database = Database.from_dict({"edge": [(1, 2), (2, 3), (3, 4)]})
+        result = evaluate_program(program, database)
+        assert (1, 4) in result.tuples("path")
+        assert len(result.tuples("path")) == 6
+
+    def test_input_database_not_modified(self):
+        program = DatalogProgram(parse_program("p(X) :- e(X)."))
+        database = Database.from_dict({"e": [(1,)]})
+        evaluate_program(program, database)
+        assert "p" not in database
+
+    def test_skolem_heads_produce_skolem_values(self):
+        rule = ConjunctiveQuery(
+            Atom("base", [Variable("A"), FunctionTerm("f", [Variable("A")])]),
+            [Atom("view", [Variable("A")])],
+            require_safe=False,
+        )
+        database = Database.from_dict({"view": [(1,), (2,)]})
+        result = evaluate_program(DatalogProgram([rule]), database)
+        values = {row[1] for row in result.tuples("base")}
+        assert values == {SkolemValue("f", [1]), SkolemValue("f", [2])}
+
+    def test_program_str_lists_rules(self):
+        program = DatalogProgram(parse_program("p(X) :- e(X)."))
+        assert "p(X) :- e(X)." in str(program)
+
+
+class TestCostModel:
+    def test_estimate_grows_with_relation_size(self):
+        small = Database.from_dict({"r": [(i, i + 1) for i in range(10)]})
+        large = Database.from_dict({"r": [(i, i + 1) for i in range(1000)]})
+        query = parse_query("q(X, Z) :- r(X, Y), r(Y, Z).")
+        assert estimate_cost(query, large) > estimate_cost(query, small)
+
+    def test_estimate_zero_for_empty_relation(self):
+        query = parse_query("q(X) :- empty(X).")
+        assert estimate_cost(query, Database()) == 0.0
+
+    def test_estimate_union_sums_disjuncts(self):
+        database = Database.from_dict({"r": [(1, 2)], "s": [(3, 4)]})
+        from repro.datalog.queries import UnionQuery
+
+        union = UnionQuery(
+            [parse_query("q(X) :- r(X, Y)."), parse_query("q(X) :- s(X, Y).")]
+        )
+        single = estimate_cost(parse_query("q(X) :- r(X, Y)."), database)
+        assert estimate_cost(union, database) > single
+
+    def test_measured_cost_returns_work_and_stats(self):
+        database = Database.from_dict({"r": [(1, 2), (2, 3)]})
+        work, stats = measured_cost(parse_query("q(X, Z) :- r(X, Y), r(Y, Z)."), database)
+        assert work == float(stats.work)
+        assert stats.answers == 1
+
+    def test_plan_comparison_speedup(self):
+        base = Database.from_dict({"r": [(i, i + 1) for i in range(200)]})
+        views = Database.from_dict({"v": [(i, i + 2) for i in range(0, 200, 2)]})
+        original = parse_query("q(X, Z) :- r(X, Y), r(Y, Z).")
+        rewritten = parse_query("q(X, Z) :- v(X, Z).")
+        comparison = plan_comparison(original, rewritten, base, views)
+        assert comparison["original_work"] > comparison["rewritten_work"]
+        assert comparison["speedup"] > 1.0
+
+    def test_plan_comparison_handles_zero_cost(self):
+        base = Database.from_dict({"r": [(1, 2)]})
+        empty_views = Database()
+        comparison = plan_comparison(
+            parse_query("q(X) :- r(X, Y)."), parse_query("q(X) :- v(X, Y)."), base, empty_views
+        )
+        assert comparison["speedup"] == float("inf")
+
+    def test_cost_model_defaults(self):
+        model = CostModel()
+        assert model.tuple_cost == 1.0
+        assert 0 < model.default_join_selectivity < 1

@@ -1,0 +1,146 @@
+"""Tests for relations, Skolem values, and databases."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.datalog.atoms import Atom
+from repro.engine.database import Database, term_to_value, value_to_term
+from repro.engine.relation import Relation, SkolemValue, contains_skolem
+from repro.datalog.terms import Constant, Variable
+
+
+class TestSkolemValue:
+    def test_equality(self):
+        assert SkolemValue("f", [1, "a"]) == SkolemValue("f", [1, "a"])
+        assert SkolemValue("f", [1]) != SkolemValue("g", [1])
+        assert SkolemValue("f", [1]) != SkolemValue("f", [2])
+
+    def test_never_equals_plain_values(self):
+        assert SkolemValue("f", [1]) != 1
+        assert SkolemValue("f", ["a"]) != "a"
+
+    def test_hashable(self):
+        assert len({SkolemValue("f", [1]), SkolemValue("f", [1])}) == 1
+
+    def test_contains_skolem(self):
+        assert contains_skolem((1, SkolemValue("f", [2])))
+        assert not contains_skolem((1, "a", 2.0))
+
+    def test_str(self):
+        assert str(SkolemValue("f_v_Y", ["a", 1])) == "f_v_Y(a, 1)"
+
+
+class TestRelation:
+    def test_add_and_len(self):
+        relation = Relation("r", 2)
+        assert relation.add((1, 2))
+        assert not relation.add((1, 2))  # duplicate
+        assert len(relation) == 1
+
+    def test_arity_enforced(self):
+        relation = Relation("r", 2)
+        with pytest.raises(SchemaError):
+            relation.add((1, 2, 3))
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("r", -1)
+
+    def test_contains_and_iter(self):
+        relation = Relation("r", 1, [(1,), (2,)])
+        assert (1,) in relation
+        assert sorted(relation) == [(1,), (2,)]
+
+    def test_project(self):
+        relation = Relation("r", 3, [(1, 2, 3), (4, 2, 6)])
+        assert relation.project([1]) == {(2,)}
+        assert relation.project([2, 0]) == {(3, 1), (6, 4)}
+        with pytest.raises(SchemaError):
+            relation.project([5])
+
+    def test_select(self):
+        relation = Relation("r", 2, [(1, 2), (3, 4)])
+        assert relation.select(lambda row: row[0] > 1).tuples() == frozenset({(3, 4)})
+
+    def test_column_values_and_active_domain(self):
+        relation = Relation("r", 2, [(1, 2), (1, 3)])
+        assert relation.column_values(0) == {1}
+        assert relation.active_domain() == {1, 2, 3}
+
+    def test_index_on(self):
+        relation = Relation("r", 2, [(1, 2), (1, 3), (2, 2)])
+        index = relation.index_on([0])
+        assert sorted(index[(1,)]) == [(1, 2), (1, 3)]
+
+    def test_copy_is_independent(self):
+        relation = Relation("r", 1, [(1,)])
+        copy = relation.copy()
+        copy.add((2,))
+        assert len(relation) == 1
+
+
+class TestDatabase:
+    def test_from_dict_and_tuples(self):
+        database = Database.from_dict({"r": [(1, 2)], "s": [("a",)]})
+        assert database.tuples("r") == frozenset({(1, 2)})
+        assert database.tuples("missing") == frozenset()
+
+    def test_from_atoms(self):
+        database = Database.from_atoms([Atom("r", [1, "a"]), Atom("r", [2, "b"])])
+        assert len(database.relation("r")) == 2
+
+    def test_add_atom_requires_ground(self):
+        database = Database()
+        with pytest.raises(SchemaError):
+            database.add_atom(Atom("r", [Variable("X")]))
+
+    def test_arity_conflict_detected(self):
+        database = Database.from_dict({"r": [(1, 2)]})
+        with pytest.raises(SchemaError):
+            database.add_fact("r", (1, 2, 3))
+        with pytest.raises(SchemaError):
+            database.ensure_relation("r", 3)
+
+    def test_size_and_active_domain(self):
+        database = Database.from_dict({"r": [(1, 2)], "s": [(2, 3)]})
+        assert database.size() == 2
+        assert database.active_domain() == {1, 2, 3}
+
+    def test_equality_ignores_empty_relations(self):
+        left = Database.from_dict({"r": [(1,)]})
+        right = Database.from_dict({"r": [(1,)]})
+        right.ensure_relation("empty", 2)
+        assert left == right
+
+    def test_merge(self):
+        left = Database.from_dict({"r": [(1,)]})
+        right = Database.from_dict({"r": [(2,)], "s": [(3,)]})
+        merged = left.merge(right)
+        assert merged.tuples("r") == frozenset({(1,), (2,)})
+        assert merged.tuples("s") == frozenset({(3,)})
+        assert left.tuples("r") == frozenset({(1,)})  # inputs untouched
+
+    def test_facts_round_trip(self):
+        database = Database.from_dict({"r": [(1, "a")], "s": [(True,)]})
+        rebuilt = Database.from_atoms(database.facts())
+        assert rebuilt == database
+
+    def test_restrict_and_rename(self):
+        database = Database.from_dict({"r": [(1,)], "s": [(2,)]})
+        assert database.restrict(["r"]).relation_names() == ("r",)
+        renamed = database.rename_relation("r", "r2")
+        assert renamed.tuples("r2") == frozenset({(1,)})
+        assert "r" not in renamed
+
+    def test_copy_is_independent(self):
+        database = Database.from_dict({"r": [(1,)]})
+        copy = database.copy()
+        copy.add_fact("r", (2,))
+        assert database.size() == 1
+
+    def test_term_value_conversions(self):
+        assert term_to_value(Constant(3)) == 3
+        with pytest.raises(SchemaError):
+            term_to_value(Variable("X"))
+        assert value_to_term(3) == Constant(3)
+        assert value_to_term(SkolemValue("f", [1])).value.startswith("@skolem:")

@@ -1,0 +1,93 @@
+"""Property-based tests for the rewriting layer.
+
+The invariants checked here are the load-bearing guarantees of the library:
+
+* every rewriting any algorithm reports as *contained* has an expansion
+  contained in the query (soundness), and evaluating it over materialized
+  views never produces a non-answer;
+* every rewriting reported as *equivalent* reproduces the query's answers
+  exactly over the materialized views;
+* the exhaustive search and MiniCon agree on whether an equivalent rewriting
+  exists (completeness cross-check).
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.containment.containment import is_contained, is_equivalent
+from repro.engine.evaluate import evaluate, materialize_views
+from repro.rewriting.exhaustive import ExhaustiveRewriter
+from repro.rewriting.expansion import expand_query
+from repro.rewriting.minicon import MiniConRewriter
+from repro.rewriting.plans import RewritingKind
+from repro.rewriting.rewriter import rewrite
+
+from tests.property.strategies import conjunctive_queries, databases, view_sets
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+class TestRewritingSoundness:
+    @SLOW
+    @given(query=conjunctive_queries(), views=view_sets())
+    def test_minicon_outputs_are_contained(self, query, views):
+        result = MiniConRewriter(views).rewrite(query)
+        for rewriting in result.rewritings:
+            expansion = expand_query(rewriting.query, views)
+            assert expansion is not None
+            assert is_contained(expansion, query)
+            if rewriting.kind is RewritingKind.EQUIVALENT:
+                assert is_equivalent(expansion, query)
+
+    @SLOW
+    @given(query=conjunctive_queries(), views=view_sets())
+    def test_bucket_outputs_are_contained(self, query, views):
+        result = rewrite(query, views, algorithm="bucket", mode="contained")
+        for rewriting in result.rewritings:
+            expansion = expand_query(rewriting.query, views)
+            assert expansion is not None
+            assert is_contained(expansion, query)
+
+    @SLOW
+    @given(query=conjunctive_queries(), views=view_sets(), database=databases())
+    def test_contained_plans_never_return_non_answers(self, query, views, database):
+        result = MiniConRewriter(views).rewrite(query)
+        if not result.rewritings:
+            return
+        instance = materialize_views(views, database)
+        true_answers = evaluate(query, database)
+        for rewriting in result.rewritings:
+            assert evaluate(rewriting.query, instance) <= true_answers
+
+    @SLOW
+    @given(query=conjunctive_queries(), views=view_sets(), database=databases())
+    def test_equivalent_plans_reproduce_answers_exactly(self, query, views, database):
+        result = MiniConRewriter(views).rewrite(query)
+        equivalents = [r for r in result.rewritings if r.kind is RewritingKind.EQUIVALENT]
+        if not equivalents:
+            return
+        instance = materialize_views(views, database)
+        true_answers = evaluate(query, database)
+        for rewriting in equivalents:
+            assert evaluate(rewriting.query, instance) == true_answers
+
+
+class TestAlgorithmAgreement:
+    @SLOW
+    @given(query=conjunctive_queries(), views=view_sets(max_views=3))
+    def test_exhaustive_and_minicon_agree_on_existence(self, query, views):
+        exhaustive = ExhaustiveRewriter(views).rewrite(query).has_equivalent
+        minicon = MiniConRewriter(views).rewrite(query).has_equivalent
+        assert exhaustive == minicon
+
+    @SLOW
+    @given(query=conjunctive_queries(), views=view_sets(max_views=3))
+    def test_exhaustive_rewriting_size_respects_paper_bound(self, query, views):
+        from repro.containment.minimize import minimize
+
+        result = ExhaustiveRewriter(views, find_all=False).rewrite(query)
+        if result.best is not None:
+            assert result.best.query.size() <= minimize(query).size()

@@ -1,0 +1,117 @@
+"""Tests for the bucket algorithm."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_query, parse_views
+from repro.rewriting.bucket import BucketRewriter
+from repro.rewriting.plans import RewritingKind
+from repro.rewriting.verify import is_complete_rewriting, is_contained_rewriting
+
+
+class TestBucketCreation:
+    def test_one_bucket_per_subgoal(self, chain3_query, chain3_views):
+        buckets = BucketRewriter(chain3_views).build_buckets(chain3_query)
+        assert len(buckets) == chain3_query.size()
+        assert [b.subgoal.predicate for b in buckets] == ["r", "s", "t"]
+
+    def test_bucket_entries_reference_covering_views(self, chain3_query, chain3_views):
+        buckets = BucketRewriter(chain3_views).build_buckets(chain3_query)
+        r_bucket = buckets[0]
+        assert {entry.view for entry in r_bucket} == {"v_rs", "v_r"}
+
+    def test_distinguished_variable_condition_filters_views(self):
+        # The view projects away the query's distinguished variable, so it
+        # cannot cover the subgoal where that variable occurs.
+        query = parse_query("q(X) :- r(X, Y).")
+        views = parse_views("v_proj(B) :- r(A, B).")
+        buckets = BucketRewriter(views).build_buckets(query)
+        assert buckets[0].is_empty()
+
+    def test_existential_query_variable_has_no_condition(self):
+        query = parse_query("q(X) :- r(X, Y), s(Y).")
+        views = parse_views("v_r(A) :- r(A, B). v_s(A) :- s(A).")
+        buckets = BucketRewriter(views).build_buckets(query)
+        # v_r keeps X but hides Y; it still belongs in the bucket of r(X, Y).
+        assert not buckets[0].is_empty()
+
+    def test_bucket_atoms_use_query_terms(self, chain3_query, chain3_views):
+        buckets = BucketRewriter(chain3_views).build_buckets(chain3_query)
+        entry_atoms = [entry.atom for entry in buckets[2]]
+        assert Atom("v_t", ["Z", "W"]) in entry_atoms
+
+    def test_constant_in_query_subgoal(self):
+        query = parse_query("q(X) :- r(X, 5).")
+        views = parse_views("v(A, B) :- r(A, B).")
+        buckets = BucketRewriter(views).build_buckets(query)
+        assert buckets[0].entries[0].atom == Atom("v", ["X", 5])
+
+
+class TestBucketRewriting:
+    def test_finds_equivalent_rewriting(self, chain3_query, chain3_views):
+        result = BucketRewriter(chain3_views).rewrite(chain3_query)
+        assert result.has_equivalent
+        for rewriting in result.rewritings:
+            assert is_contained_rewriting(rewriting.query, chain3_query, chain3_views)
+
+    def test_equality_repair_recovers_multi_subgoal_view(self):
+        # The correct rewriting needs the two-subgoal view to cover both r and
+        # s, which only appears after the "add equality constraints" repair.
+        query = parse_query("q(X, Z) :- r(X, Y), s(Y, W), t(W, Z).")
+        views = parse_views("v_rs(A, B) :- r(A, C), s(C, B). v_t(A, B) :- t(A, B).")
+        result = BucketRewriter(views).rewrite(query)
+        assert result.has_equivalent
+        best = result.best
+        assert best.query.size() == 2
+
+    def test_empty_bucket_means_no_rewriting(self, chain3_query):
+        views = parse_views("v_r(A, B) :- r(A, B). v_s(A, B) :- s(A, B).")
+        result = BucketRewriter(views).rewrite(chain3_query)
+        assert not result.rewritings
+        assert result.candidates_examined == 0
+
+    def test_contained_rewritings_reported(self, citation_query, citation_views):
+        result = BucketRewriter(citation_views).rewrite(citation_query)
+        kinds = {r.kind for r in result.rewritings}
+        assert RewritingKind.EQUIVALENT in kinds or RewritingKind.CONTAINED in kinds
+        for rewriting in result.rewritings:
+            assert is_contained_rewriting(rewriting.query, citation_query, citation_views)
+
+    def test_max_candidates_caps_work(self, citation_query, citation_views):
+        capped = BucketRewriter(citation_views, max_candidates=1).rewrite(citation_query)
+        assert capped.candidates_examined <= 1
+
+    def test_cartesian_product_size(self):
+        # Three subgoals with 2 bucket entries each: 8 combinations examined.
+        query = parse_query("q(X, Z) :- r(X, Y), r(Y, W), r(W, Z).")
+        views = parse_views("v1(A, B) :- r(A, B). v2(A, B) :- r(A, B), extra(A).")
+        result = BucketRewriter(views).rewrite(query)
+        assert result.candidates_examined == 8
+
+    def test_unsafe_combinations_skipped(self):
+        # A combination that does not expose a distinguished variable is skipped.
+        query = parse_query("q(X, Y) :- r(X, Y), s(Y).")
+        views = parse_views("v_r(A, B) :- r(A, B). v_s(A) :- s(A).")
+        result = BucketRewriter(views).rewrite(query)
+        assert result.has_equivalent
+
+    def test_redundant_atoms_tolerated(self):
+        # Bucket rewritings may carry redundant atoms; they must still verify.
+        query = parse_query("q(S, C) :- enrolled(S, C), teaches(P, C), advises(P, S).")
+        views = parse_views(
+            """
+            v_all(S, C) :- enrolled(S, C), teaches(P, C), advises(P, S).
+            v_tc(C, P) :- teaches(P, C).
+            """
+        )
+        result = BucketRewriter(views).rewrite(query)
+        assert result.has_equivalent
+        for rewriting in result.rewritings:
+            assert is_contained_rewriting(rewriting.query, query, views)
+
+    def test_comparison_query(self):
+        query = parse_query("q(X) :- emp(X, S), S > 100.")
+        views = parse_views("v(A, B) :- emp(A, B).")
+        result = BucketRewriter(views).rewrite(query)
+        assert result.has_equivalent
+        assert is_complete_rewriting(result.best.query, query, views)

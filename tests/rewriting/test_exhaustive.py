@@ -1,0 +1,129 @@
+"""Tests for candidate generation and the paper's bounded exhaustive search."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_query, parse_views
+from repro.rewriting.candidates import (
+    candidate_atoms_for_view,
+    candidate_view_atoms,
+    candidates_by_view,
+)
+from repro.rewriting.exhaustive import ExhaustiveRewriter
+from repro.rewriting.plans import RewritingKind
+from repro.rewriting.verify import is_complete_rewriting
+
+
+class TestCandidates:
+    def test_identity_view_produces_query_term_atoms(self, chain3_query, chain3_views):
+        atoms = candidate_atoms_for_view(chain3_query, chain3_views["v_r"])
+        assert Atom("v_r", ["X", "Y"]) in atoms
+
+    def test_multi_subgoal_view_maps_whole_body(self, chain3_query, chain3_views):
+        atoms = candidate_atoms_for_view(chain3_query, chain3_views["v_rs"])
+        assert atoms == [Atom("v_rs", ["X", "Z"])]
+
+    def test_view_not_embeddable_gives_no_candidates(self, chain3_query):
+        views = parse_views("v_bad(A, B) :- r(A, C), r(C, B).")
+        assert candidate_atoms_for_view(chain3_query, views["v_bad"]) == []
+
+    def test_candidates_deduplicated_across_views(self, chain3_query, chain3_views):
+        atoms = candidate_view_atoms(chain3_query, chain3_views)
+        assert len(atoms) == len(set(atoms))
+
+    def test_candidates_by_view_keys(self, chain3_query, chain3_views):
+        grouped = candidates_by_view(chain3_query, chain3_views)
+        assert set(grouped) == set(chain3_views.names())
+
+    def test_same_relation_multiple_subgoals(self):
+        query = parse_query("q(X, Z) :- e(X, Y), e(Y, Z).")
+        views = parse_views("v(A, B) :- e(A, B).")
+        atoms = candidate_atoms_for_view(query, views["v"])
+        assert set(atoms) == {Atom("v", ["X", "Y"]), Atom("v", ["Y", "Z"])}
+
+
+class TestExhaustiveRewriter:
+    def test_finds_two_view_rewriting(self, chain3_query, chain3_views):
+        result = ExhaustiveRewriter(chain3_views).rewrite(chain3_query)
+        assert result.has_equivalent
+        best = result.best
+        assert best is not None
+        assert best.kind is RewritingKind.EQUIVALENT
+        assert is_complete_rewriting(best.query, chain3_query, chain3_views)
+
+    def test_smallest_rewriting_found_first(self, chain3_query, chain3_views):
+        result = ExhaustiveRewriter(chain3_views).rewrite(chain3_query)
+        assert result.best.query.size() == 2  # v_rs + v_t (or v_r + v_st)
+
+    def test_find_all_enumerates_alternatives(self, chain3_query, chain3_views):
+        result = ExhaustiveRewriter(chain3_views, find_all=True).rewrite(chain3_query)
+        assert len(result.equivalent_rewritings()) >= 2
+        sizes = {r.query.size() for r in result.equivalent_rewritings()}
+        assert 2 in sizes
+
+    def test_no_rewriting_when_views_insufficient(self, chain3_query):
+        views = parse_views("v_r(A, B) :- r(A, B). v_s(A, B) :- s(A, B).")
+        result = ExhaustiveRewriter(views).rewrite(chain3_query)
+        assert not result.has_equivalent
+
+    def test_no_rewriting_when_view_hides_join_variable(self):
+        # The view projects away the join variable, so the join cannot be
+        # reconstructed — the classic non-usable view.
+        query = parse_query("q(X, Z) :- r(X, Y), s(Y, Z).")
+        views = parse_views("v_r_proj(A) :- r(A, B). v_s(A, B) :- s(A, B).")
+        result = ExhaustiveRewriter(views).rewrite(query)
+        assert not result.has_equivalent
+
+    def test_identity_views_always_give_rewriting(self, chain3_query):
+        views = parse_views(
+            "v_r(A, B) :- r(A, B). v_s(A, B) :- s(A, B). v_t(A, B) :- t(A, B)."
+        )
+        result = ExhaustiveRewriter(views).rewrite(chain3_query)
+        assert result.has_equivalent
+        assert result.best.query.size() == 3
+
+    def test_rewriting_respects_length_bound(self, chain3_query, chain3_views):
+        result = ExhaustiveRewriter(chain3_views, find_all=True).rewrite(chain3_query)
+        bound = chain3_query.size()
+        for rewriting in result.equivalent_rewritings():
+            assert rewriting.query.size() <= bound
+
+    def test_max_subgoals_cap_can_miss_rewritings(self, chain3_query):
+        views = parse_views(
+            "v_r(A, B) :- r(A, B). v_s(A, B) :- s(A, B). v_t(A, B) :- t(A, B)."
+        )
+        capped = ExhaustiveRewriter(views, max_subgoals=2).rewrite(chain3_query)
+        assert not capped.has_equivalent
+
+    def test_query_with_constants(self):
+        query = parse_query("q(X) :- enrolled(X, cs101), tough(cs101).")
+        views = parse_views("v(A, B) :- enrolled(A, B), tough(B).")
+        result = ExhaustiveRewriter(views).rewrite(query)
+        assert result.has_equivalent
+        assert result.best.query.body[0] == Atom("v", ["X", "cs101"])
+
+    def test_query_with_comparisons(self):
+        query = parse_query("q(X) :- emp(X, S), S > 100.")
+        views = parse_views("v(A, B) :- emp(A, B).")
+        result = ExhaustiveRewriter(views).rewrite(query)
+        assert result.has_equivalent
+        assert len(result.best.query.comparisons) == 1
+
+    def test_view_with_comparison_too_strict(self):
+        query = parse_query("q(X) :- emp(X, S), S > 100.")
+        views = parse_views("v(A) :- emp(A, B), B > 200.")
+        result = ExhaustiveRewriter(views).rewrite(query)
+        assert not result.has_equivalent
+
+    def test_view_with_matching_comparison(self):
+        query = parse_query("q(X) :- emp(X, S), S > 100.")
+        views = parse_views("v(A) :- emp(A, B), B > 100.")
+        result = ExhaustiveRewriter(views).rewrite(query)
+        assert result.has_equivalent
+
+    def test_decision_procedure_helper(self, chain3_query, chain3_views):
+        assert ExhaustiveRewriter(chain3_views).has_complete_rewriting(chain3_query)
+
+    def test_candidates_examined_is_reported(self, chain3_query, chain3_views):
+        result = ExhaustiveRewriter(chain3_views, find_all=True).rewrite(chain3_query)
+        assert result.candidates_examined >= len(result.rewritings)

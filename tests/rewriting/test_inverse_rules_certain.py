@@ -1,0 +1,133 @@
+"""Tests for the inverse-rules algorithm and certain-answer computation."""
+
+import pytest
+
+from repro.errors import RewritingError, UnsupportedFeatureError
+from repro.datalog.parser import parse_query, parse_view, parse_views
+from repro.datalog.terms import FunctionTerm
+from repro.engine.database import Database
+from repro.engine.evaluate import evaluate, materialize_views
+from repro.rewriting.certain import certain_answers
+from repro.rewriting.inverse_rules import (
+    InverseRulesRewriter,
+    inverse_rules,
+    inverse_rules_program,
+)
+from repro.rewriting.plans import RewritingKind
+
+
+class TestInverseRules:
+    def test_one_rule_per_view_subgoal(self):
+        view = parse_view("v(X, Y) :- r(X, Z), s(Z, Y).")
+        rules = inverse_rules(view)
+        assert len(rules) == 2
+        assert {rule.head.predicate for rule in rules} == {"r", "s"}
+
+    def test_existential_variables_become_skolem_terms(self):
+        view = parse_view("v(X) :- r(X, Z).")
+        (rule,) = inverse_rules(view)
+        skolem = rule.head.args[1]
+        assert isinstance(skolem, FunctionTerm)
+        assert skolem.args == view.head.args
+
+    def test_distinguished_variables_stay_plain(self):
+        view = parse_view("v(X, Y) :- r(X, Y).")
+        (rule,) = inverse_rules(view)
+        assert rule.head == view.body[0]
+
+    def test_bodies_are_view_atoms(self):
+        view = parse_view("v(X) :- r(X, Z), s(Z).")
+        for rule in inverse_rules(view):
+            assert len(rule.body) == 1
+            assert rule.body[0].predicate == "v"
+
+    def test_comparisons_rejected(self):
+        view = parse_view("v(X) :- r(X, Y), Y > 3.")
+        with pytest.raises(UnsupportedFeatureError):
+            inverse_rules(view)
+
+    def test_program_contains_query(self):
+        query = parse_query("q(X) :- r(X, Y).")
+        views = parse_views("v(A) :- r(A, B).")
+        program = inverse_rules_program(query, views)
+        assert len(program) == 2
+        assert program.rules[-1] == query
+
+
+class TestCertainAnswers:
+    @pytest.fixture
+    def setting(self):
+        query = parse_query("q(X) :- r(X, Y), s(Y, Z).")
+        views = parse_views(
+            """
+            v_r(A, B) :- r(A, B).
+            v_rs(A) :- r(A, B), s(B, C).
+            """
+        )
+        database = Database.from_dict(
+            {"r": [(1, 2), (3, 4), (5, 6)], "s": [(2, 7), (4, 8)]}
+        )
+        return query, views, database
+
+    def test_inverse_rules_match_direct_evaluation_when_views_are_lossless(self, setting):
+        query, views, database = setting
+        instance = materialize_views(views, database)
+        answers = certain_answers(query, views, instance, method="inverse-rules")
+        # v_rs already records exactly which r-tuples have an s-continuation,
+        # so the certain answers coincide with the direct answers here.
+        assert answers == evaluate(query, database)
+
+    def test_skolem_answers_are_filtered(self):
+        # The view only exposes the first column of r; no s-fact can be
+        # certain, so a query needing s has no certain answers.
+        query = parse_query("q(X) :- r(X, Y), s(Y, Z).")
+        views = parse_views("v_r1(A) :- r(A, B).")
+        instance = Database.from_dict({"v_r1": [(1,), (2,)]})
+        assert certain_answers(query, views, instance, method="inverse-rules") == frozenset()
+
+    def test_projection_query_is_answerable_from_lossy_view(self):
+        query = parse_query("q(X) :- r(X, Y).")
+        views = parse_views("v_r1(A) :- r(A, B).")
+        instance = Database.from_dict({"v_r1": [(1,), (2,)]})
+        answers = certain_answers(query, views, instance, method="inverse-rules")
+        assert answers == frozenset({(1,), (2,)})
+
+    def test_methods_agree(self, setting):
+        query, views, database = setting
+        instance = materialize_views(views, database)
+        by_rules = certain_answers(query, views, instance, method="inverse-rules")
+        by_minicon = certain_answers(query, views, instance, method="minicon")
+        by_bucket = certain_answers(query, views, instance, method="bucket")
+        assert by_rules == by_minicon == by_bucket
+
+    def test_certain_answers_are_sound(self, setting):
+        query, views, database = setting
+        instance = materialize_views(views, database)
+        answers = certain_answers(query, views, instance, method="rewriting")
+        assert answers <= evaluate(query, database)
+
+    def test_unknown_method_rejected(self, setting):
+        query, views, database = setting
+        with pytest.raises(RewritingError):
+            certain_answers(query, views, Database(), method="magic")
+
+    def test_no_contained_rewriting_means_no_certain_answers(self):
+        query = parse_query("q(X) :- t(X, Y).")
+        views = parse_views("v_r(A, B) :- r(A, B).")
+        assert certain_answers(query, views, Database(), method="rewriting") == frozenset()
+
+
+class TestInverseRulesRewriter:
+    def test_rewrite_reports_maximally_contained_plan(self):
+        query = parse_query("q(X) :- r(X, Y).")
+        views = parse_views("v(A) :- r(A, B).")
+        result = InverseRulesRewriter(views).rewrite(query)
+        assert len(result.rewritings) == 1
+        assert result.rewritings[0].kind is RewritingKind.MAXIMALLY_CONTAINED
+
+    def test_certain_answers_shortcut(self):
+        query = parse_query("q(X) :- r(X, Y).")
+        views = parse_views("v(A) :- r(A, B).")
+        rewriter = InverseRulesRewriter(views)
+        instance = Database.from_dict({"v": [(1,), (2,)]})
+        assert rewriter.certain_answers(query, instance) == frozenset({(1,), (2,)})

@@ -1,0 +1,140 @@
+"""Tests for the MiniCon algorithm (MCD formation and combination)."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_query, parse_views
+from repro.rewriting.minicon import MiniConRewriter
+from repro.rewriting.plans import RewritingKind
+from repro.rewriting.verify import is_complete_rewriting, is_contained_rewriting
+
+
+class TestMCDFormation:
+    def test_single_subgoal_mcd(self, chain3_query, chain3_views):
+        mcds = MiniConRewriter(chain3_views).form_mcds(chain3_query)
+        single = [m for m in mcds if m.view == "v_t"]
+        assert len(single) == 1
+        assert single[0].covered == frozenset({2})
+
+    def test_property_c2_extends_coverage(self, chain3_query, chain3_views):
+        # v_rs hides the r/s join variable, so an MCD using it must cover both
+        # the r and the s subgoal.
+        mcds = MiniConRewriter(chain3_views).form_mcds(chain3_query)
+        for mcd in mcds:
+            if mcd.view == "v_rs":
+                assert mcd.covered == frozenset({0, 1})
+
+    def test_property_c1_rejects_projected_distinguished_variable(self):
+        query = parse_query("q(X) :- r(X, Y).")
+        views = parse_views("v_proj(B) :- r(A, B).")
+        assert MiniConRewriter(views).form_mcds(query) == []
+
+    def test_c2_failure_yields_no_mcd(self):
+        # The view hides Y but cannot cover the s-subgoal that also uses Y.
+        query = parse_query("q(X) :- r(X, Y), s(Y, Z).")
+        views = parse_views("v_r(A) :- r(A, B).")
+        assert MiniConRewriter(views).form_mcds(query) == []
+
+    def test_c2_success_when_view_covers_all_uses(self):
+        query = parse_query("q(X) :- r(X, Y), s(Y, Z).")
+        views = parse_views("v_rs(A) :- r(A, B), s(B, C).")
+        mcds = MiniConRewriter(views).form_mcds(query)
+        assert len(mcds) == 1
+        assert mcds[0].covered == frozenset({0, 1})
+
+    def test_self_join_produces_multiple_mcds(self):
+        query = parse_query("q(X, Z) :- e(X, Y), e(Y, Z).")
+        views = parse_views("v(A, B) :- e(A, B).")
+        mcds = MiniConRewriter(views).form_mcds(query)
+        assert len(mcds) == 2
+        assert {m.covered for m in mcds} == {frozenset({0}), frozenset({1})}
+
+    def test_constant_binding_recorded(self):
+        query = parse_query("q(X) :- r(X, Y).")
+        views = parse_views("v(A) :- r(A, 5).")
+        mcds = MiniConRewriter(views).form_mcds(query)
+        assert len(mcds) == 1
+        assert mcds[0].constant_bindings != ()
+
+    def test_merged_variables_recorded(self):
+        query = parse_query("q(X, Y) :- r(X, Y).")
+        views = parse_views("v(A) :- r(A, A).")
+        mcds = MiniConRewriter(views).form_mcds(query)
+        assert len(mcds) == 1
+        assert mcds[0].merged_variables != ()
+
+
+class TestMiniConRewriting:
+    def test_finds_equivalent_rewriting(self, chain3_query, chain3_views):
+        result = MiniConRewriter(chain3_views).rewrite(chain3_query)
+        assert result.has_equivalent
+        assert result.best.query.size() == 2
+
+    def test_all_outputs_are_contained(self, citation_query, citation_views):
+        result = MiniConRewriter(citation_views).rewrite(citation_query)
+        assert result.rewritings
+        for rewriting in result.rewritings:
+            assert is_contained_rewriting(rewriting.query, citation_query, citation_views)
+
+    def test_no_rewriting_when_join_variable_hidden(self):
+        query = parse_query("q(X, Z) :- r(X, Y), s(Y, Z).")
+        views = parse_views("v_r(A) :- r(A, B). v_s(B) :- s(A, B).")
+        result = MiniConRewriter(views).rewrite(query)
+        assert not result.rewritings
+
+    def test_unverified_mode_matches_verified_on_comparison_free_inputs(
+        self, chain3_query, chain3_views
+    ):
+        verified = MiniConRewriter(chain3_views, verify_rewritings=True).rewrite(chain3_query)
+        unverified = MiniConRewriter(chain3_views, verify_rewritings=False).rewrite(chain3_query)
+        assert {r.query.canonical() for r in verified.rewritings} == {
+            r.query.canonical() for r in unverified.rewritings
+        }
+
+    def test_unverified_outputs_are_still_contained(self, citation_query, citation_views):
+        result = MiniConRewriter(citation_views, verify_rewritings=False).rewrite(citation_query)
+        for rewriting in result.rewritings:
+            assert is_contained_rewriting(rewriting.query, citation_query, citation_views)
+
+    def test_verification_forced_with_comparisons(self):
+        query = parse_query("q(X) :- emp(X, S), S > 100.")
+        views = parse_views("v(A, B) :- emp(A, B).")
+        result = MiniConRewriter(views, verify_rewritings=False).rewrite(query)
+        assert result.has_equivalent
+        for rewriting in result.rewritings:
+            assert is_contained_rewriting(rewriting.query, query, views)
+
+    def test_max_rewritings_cap(self, citation_query, citation_views):
+        capped = MiniConRewriter(citation_views, max_rewritings=1).rewrite(citation_query)
+        assert len(capped.rewritings) <= 1
+
+    def test_distinguished_collapse_yields_contained_rewriting(self):
+        # The view equates the two distinguished variables, so the rewriting
+        # is contained (not equivalent) in the query.
+        query = parse_query("q(X, Y) :- r(X, Y).")
+        views = parse_views("v(A) :- r(A, A).")
+        result = MiniConRewriter(views).rewrite(query)
+        assert result.rewritings
+        assert all(r.kind is RewritingKind.CONTAINED for r in result.rewritings)
+
+    def test_star_query_without_center_has_no_rewriting(self):
+        query = parse_query("q(X1, X2) :- e1(C, X1), e2(C, X2).")
+        views = parse_views("v1(A) :- e1(B, A). v2(A) :- e2(B, A).")
+        assert not MiniConRewriter(views).rewrite(query).rewritings
+
+    def test_star_query_with_center_view_has_rewriting(self):
+        query = parse_query("q(X1, X2) :- e1(C, X1), e2(C, X2).")
+        views = parse_views("v1(B, A) :- e1(B, A). v2(B, A) :- e2(B, A).")
+        result = MiniConRewriter(views).rewrite(query)
+        assert result.has_equivalent
+
+    def test_agreement_with_exhaustive_on_existence(self, chain3_query, chain3_views):
+        from repro.rewriting.exhaustive import ExhaustiveRewriter
+
+        exhaustive = ExhaustiveRewriter(chain3_views).rewrite(chain3_query)
+        minicon = MiniConRewriter(chain3_views).rewrite(chain3_query)
+        assert exhaustive.has_equivalent == minicon.has_equivalent
+
+    def test_examined_counts_combinations(self, chain3_query, chain3_views):
+        result = MiniConRewriter(chain3_views).rewrite(chain3_query)
+        assert result.candidates_examined >= len(result.rewritings)

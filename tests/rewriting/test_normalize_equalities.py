@@ -1,0 +1,55 @@
+"""Tests for equality normalization used by the exhaustive rewriter."""
+
+from repro.datalog.parser import parse_query, parse_views
+from repro.containment.containment import is_equivalent
+from repro.rewriting.exhaustive import ExhaustiveRewriter, normalize_equalities
+
+
+class TestNormalizeEqualities:
+    def test_constant_equality_is_inlined(self):
+        query = parse_query("q(E) :- emp(E, S), S = 7.")
+        normalized = normalize_equalities(query)
+        assert normalized == parse_query("q(E) :- emp(E, 7).")
+
+    def test_variable_equality_is_inlined(self):
+        query = parse_query("q(X) :- r(X, Y), s(Z, X), Y = Z.")
+        normalized = normalize_equalities(query)
+        assert len(normalized.comparisons) == 0
+        assert is_equivalent(normalized, query)
+
+    def test_head_variables_are_preserved(self):
+        query = parse_query("q(X) :- r(X, Y), X = 5.")
+        normalized = normalize_equalities(query)
+        assert normalized.head == query.head
+        assert is_equivalent(normalized, query)
+
+    def test_chained_equalities(self):
+        query = parse_query("q(X) :- r(X, Y), s(Z, W), Y = Z, Z = W.")
+        normalized = normalize_equalities(query)
+        assert len(normalized.comparisons) == 0
+        assert is_equivalent(normalized, query)
+
+    def test_queries_without_equalities_unchanged(self):
+        query = parse_query("q(X) :- r(X, Y), Y < 5.")
+        assert normalize_equalities(query) == query
+
+    def test_preserves_equivalence_in_general(self):
+        query = parse_query("q(A) :- r(A, B), t(B, C), C = 3, B != 0.")
+        assert is_equivalent(normalize_equalities(query), query)
+
+
+class TestExhaustiveWithEqualities:
+    def test_constant_view_matches_equality_query(self):
+        query = parse_query("q(E) :- emp(E, S), S = 7.")
+        views = parse_views("v(A) :- emp(A, 7).")
+        assert ExhaustiveRewriter(views).rewrite(query).has_equivalent
+
+    def test_equality_join_view(self):
+        query = parse_query("q(X) :- r(X, Y), s(Z), Y = Z.")
+        views = parse_views("v(A) :- r(A, B), s(B).")
+        assert ExhaustiveRewriter(views).rewrite(query).has_equivalent
+
+    def test_negative_case_still_rejected(self):
+        query = parse_query("q(E) :- emp(E, S), S = 7.")
+        views = parse_views("v(A) :- emp(A, 8).")
+        assert not ExhaustiveRewriter(views).rewrite(query).has_equivalent

@@ -1,0 +1,135 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+QUERY = "q(X, Z) :- r(X, Y), s(Y, Z)."
+VIEWS = "v_rs(A, B) :- r(A, C), s(C, B).\nv_r(A, B) :- r(A, B).\nv_s(A, B) :- s(A, B)."
+DATABASE = "r(1, 2). r(3, 4). s(2, 5). s(4, 6)."
+VIEW_INSTANCE = "v_rs(1, 5). v_rs(3, 6)."
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestRewriteCommand:
+    def test_finds_and_prints_rewriting(self):
+        code, output = run_cli(
+            ["rewrite", "--query", QUERY, "--views", VIEWS, "--algorithm", "minicon"]
+        )
+        assert code == 0
+        assert "equivalent" in output
+        assert "v_rs" in output
+
+    def test_show_expansion(self):
+        code, output = run_cli(
+            ["rewrite", "--query", QUERY, "--views", VIEWS, "--show-expansion"]
+        )
+        assert code == 0
+        assert "expansion:" in output
+
+    def test_no_rewriting_returns_nonzero(self):
+        code, output = run_cli(
+            ["rewrite", "--query", QUERY, "--views", "v_other(A) :- t(A)."]
+        )
+        assert code == 1
+        assert "no rewriting found" in output
+
+    def test_reads_inputs_from_files(self, tmp_path):
+        query_file = tmp_path / "query.dl"
+        views_file = tmp_path / "views.dl"
+        query_file.write_text(QUERY)
+        views_file.write_text(VIEWS)
+        code, output = run_cli(
+            ["rewrite", "--query", str(query_file), "--views", str(views_file)]
+        )
+        assert code == 0
+        assert "rewriting 1" in output
+
+    def test_parse_error_is_reported(self):
+        code, _ = run_cli(["rewrite", "--query", "q(X :- r(X).", "--views", VIEWS])
+        assert code == 2
+
+
+class TestAnswerCommand:
+    def test_direct_evaluation(self):
+        code, output = run_cli(["answer", "--query", QUERY, "--database", DATABASE])
+        assert code == 0
+        assert "1\t5" in output
+        assert "# 2 answers" in output
+
+    def test_evaluation_through_views(self):
+        code, output = run_cli(
+            ["answer", "--query", QUERY, "--database", DATABASE, "--views", VIEWS]
+        )
+        assert code == 0
+        assert "# using rewriting" in output
+        assert "1\t5" in output and "3\t6" in output
+
+    def test_falls_back_to_direct_when_no_rewriting(self):
+        code, output = run_cli(
+            [
+                "answer",
+                "--query",
+                QUERY,
+                "--database",
+                DATABASE,
+                "--views",
+                "v_other(A) :- t(A).",
+            ]
+        )
+        assert code == 0
+        assert "evaluating the query directly" in output
+
+
+class TestCertainCommand:
+    def test_certain_answers_from_instance(self):
+        code, output = run_cli(
+            [
+                "certain",
+                "--query",
+                QUERY,
+                "--views",
+                "v_rs(A, B) :- r(A, C), s(C, B).",
+                "--view-instance",
+                VIEW_INSTANCE,
+                "--method",
+                "inverse-rules",
+            ]
+        )
+        assert code == 0
+        assert "1\t5" in output
+        assert "# 2 certain answers" in output
+
+    def test_rewriting_method(self):
+        code, output = run_cli(
+            [
+                "certain",
+                "--query",
+                QUERY,
+                "--views",
+                "v_rs(A, B) :- r(A, C), s(C, B).",
+                "--view-instance",
+                VIEW_INSTANCE,
+                "--method",
+                "rewriting",
+            ]
+        )
+        assert code == 0
+        assert "# 2 certain answers" in output
+
+
+class TestExperimentsCommand:
+    def test_lists_all_experiments(self):
+        code, output = run_cli(["experiments"])
+        assert code == 0
+        for identifier in ("E1", "E5", "E10"):
+            assert identifier in output
+        assert "bench_e4_chain_views" in output

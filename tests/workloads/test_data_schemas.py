@@ -1,0 +1,82 @@
+"""Tests for database generators and the realistic scenarios."""
+
+import pytest
+
+from repro.engine.evaluate import evaluate, materialize_views
+from repro.rewriting.rewriter import rewrite
+from repro.workloads.data import (
+    random_chain_database,
+    random_database,
+    random_graph_database,
+    scaled_database,
+)
+from repro.workloads.generators import chain_query
+from repro.workloads.schemas import ALL_SCENARIOS, enterprise_schema, paper_example, university_schema
+
+
+class TestDataGenerators:
+    def test_random_database_respects_schema(self):
+        database = random_database({"r": 2, "s": 3}, tuples_per_relation=20, seed=1)
+        assert database.relation("r").arity == 2
+        assert database.relation("s").arity == 3
+        assert len(database.relation("r")) <= 20
+
+    def test_random_database_reproducible(self):
+        a = random_database({"r": 2}, tuples_per_relation=30, seed=5)
+        b = random_database({"r": 2}, tuples_per_relation=30, seed=5)
+        assert a == b
+
+    def test_chain_database_joins(self):
+        database = random_chain_database(3, tuples_per_relation=80, domain_size=10, seed=0)
+        answers = evaluate(chain_query(3), database)
+        assert answers  # consecutive relations share a domain, so joins succeed
+
+    def test_graph_database(self):
+        database = random_graph_database(num_nodes=10, num_edges=40, seed=2)
+        assert database.relation("edge").arity == 2
+        assert len(database.relation("edge")) <= 40
+
+    def test_scaled_database_multiplies_size(self):
+        base = random_database({"r": 2}, tuples_per_relation=25, seed=1)
+        scaled = scaled_database(base, 3)
+        assert len(scaled.relation("r")) == 3 * len(base.relation("r"))
+
+    def test_scaled_database_preserves_join_counts(self):
+        base = random_chain_database(2, tuples_per_relation=30, domain_size=10, seed=3)
+        scaled = scaled_database(base, 2)
+        base_answers = evaluate(chain_query(2), base)
+        scaled_answers = evaluate(chain_query(2), scaled)
+        assert len(scaled_answers) == 2 * len(base_answers)
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("factory", [paper_example, university_schema, enterprise_schema])
+    def test_scenarios_build_and_materialize(self, factory):
+        scenario = factory()
+        database = scenario.make_database(40, 0)
+        assert database.size() > 0
+        instance = materialize_views(scenario.views, database)
+        assert set(instance.relation_names()) == set(scenario.views.names())
+
+    @pytest.mark.parametrize("factory", [paper_example, university_schema, enterprise_schema])
+    def test_primary_query_has_equivalent_rewriting(self, factory):
+        scenario = factory()
+        result = rewrite(scenario.query, scenario.views, algorithm="minicon")
+        assert result.has_equivalent
+
+    def test_scenario_databases_reproducible(self):
+        scenario = university_schema()
+        assert scenario.make_database(30, 7) == scenario.make_database(30, 7)
+
+    def test_all_scenarios_registry(self):
+        assert set(ALL_SCENARIOS) == {"paper-example", "university", "enterprise"}
+        for factory in ALL_SCENARIOS.values():
+            assert factory().queries
+
+    def test_university_rewriting_gives_same_answers(self):
+        scenario = university_schema()
+        database = scenario.make_database(60, 1)
+        result = rewrite(scenario.query, scenario.views, algorithm="minicon")
+        best = result.best
+        instance = materialize_views(scenario.views, database)
+        assert evaluate(best.query, instance) == evaluate(scenario.query, database)

@@ -1,0 +1,144 @@
+"""Tests for the chain/star/complete/random workload generators."""
+
+import pytest
+
+from repro.errors import QueryConstructionError
+from repro.datalog.terms import Variable
+from repro.rewriting.rewriter import rewrite
+from repro.workloads.generators import (
+    chain_query,
+    chain_views,
+    complete_query,
+    complete_views,
+    random_query,
+    random_views,
+    star_query,
+    star_views,
+    workload,
+)
+
+
+class TestChain:
+    def test_chain_query_shape(self):
+        query = chain_query(4)
+        assert query.size() == 4
+        assert query.head_variables() == (Variable("X0"), Variable("X4"))
+        assert len(query.predicates()) == 4
+
+    def test_single_relation_chain(self):
+        query = chain_query(3, distinct_relations=False)
+        assert query.predicates() == frozenset({("r", 2)})
+
+    def test_invalid_length(self):
+        with pytest.raises(QueryConstructionError):
+            chain_query(0)
+
+    def test_chain_views_cover_all_segments(self):
+        views = chain_views(3)
+        # Segments: 3 of length 1, 2 of length 2, 1 of length 3.
+        assert len(views) == 6
+
+    def test_segment_length_filter(self):
+        views = chain_views(4, segment_lengths=[2])
+        assert len(views) == 3
+        assert all(v.definition.size() == 2 for v in views)
+
+    def test_endpoint_views_are_rewritable(self):
+        query = chain_query(4)
+        views = chain_views(4, segment_lengths=[2])
+        result = rewrite(query, views, algorithm="minicon")
+        assert result.has_equivalent
+
+    def test_expose_all_variables(self):
+        views = chain_views(2, segment_lengths=[2], expose_endpoints_only=False)
+        assert list(views)[0].arity == 3
+
+
+class TestStar:
+    def test_star_query_shape(self):
+        query = star_query(3)
+        assert query.size() == 3
+        assert query.arity == 3
+        assert Variable("C") not in query.head_variables()
+
+    def test_star_query_with_center(self):
+        query = star_query(3, expose_center=True)
+        assert query.arity == 4
+
+    def test_star_views_default_subsets(self):
+        views = star_views(3)
+        assert len(views) == 5  # 3 single-arm + 2 adjacent pairs
+
+    def test_star_views_custom_subsets(self):
+        views = star_views(4, arm_subsets=[[1, 2, 3, 4]])
+        assert len(views) == 1
+        assert list(views)[0].definition.size() == 4
+
+    def test_invalid_arm_index(self):
+        with pytest.raises(QueryConstructionError):
+            star_views(2, arm_subsets=[[3]])
+
+    def test_full_coverage_view_gives_rewriting(self):
+        query = star_query(3)
+        views = star_views(3, arm_subsets=[[1, 2, 3]])
+        assert rewrite(query, views, algorithm="minicon").has_equivalent
+
+
+class TestComplete:
+    def test_complete_query_shape(self):
+        query = complete_query(4)
+        assert query.size() == 6  # C(4,2) ordered pairs i<j
+        assert query.arity == 4
+
+    def test_minimum_size(self):
+        with pytest.raises(QueryConstructionError):
+            complete_query(1)
+
+    def test_complete_views_deterministic_given_seed(self):
+        a = complete_views(3, num_views=4, seed=7)
+        b = complete_views(3, num_views=4, seed=7)
+        assert [str(v) for v in a] == [str(v) for v in b]
+
+    def test_complete_views_all_over_edge_relation(self):
+        for view in complete_views(3, num_views=3):
+            assert view.predicates() == frozenset({("edge", 2)})
+
+
+class TestRandom:
+    def test_random_query_is_connected_and_reproducible(self):
+        q1 = random_query(num_subgoals=5, seed=3)
+        q2 = random_query(num_subgoals=5, seed=3)
+        assert q1 == q2
+        assert q1.size() == 5
+
+    def test_random_query_distinguished_count(self):
+        query = random_query(num_subgoals=4, num_distinguished=3, seed=1)
+        assert query.arity <= 3
+
+    def test_random_views_unique_names(self):
+        views = random_views(num_views=6, seed=2)
+        assert len(views.names()) == 6
+
+    def test_different_seeds_differ(self):
+        assert random_query(num_subgoals=5, seed=1) != random_query(num_subgoals=5, seed=2)
+
+
+class TestWorkloadFrontDoor:
+    @pytest.mark.parametrize("kind", ["chain", "star", "complete", "random"])
+    def test_workload_kinds(self, kind):
+        spec = workload(kind, seed=1, num_views=4)
+        assert spec.query.size() >= 1
+        assert len(spec.views) >= 1
+        assert spec.name == kind
+
+    def test_chain_num_views_truncates(self):
+        spec = workload("chain", length=4, num_views=3)
+        assert len(spec.views) == 3
+
+    def test_unknown_kind(self):
+        with pytest.raises(QueryConstructionError):
+            workload("zigzag")
+
+    def test_str_lists_query_and_views(self):
+        spec = workload("chain", length=2)
+        assert "q(X0, X2)" in str(spec)
