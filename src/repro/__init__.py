@@ -87,11 +87,21 @@ from repro.rewriting import (
     view_is_usable,
     view_is_useful,
 )
+from repro.service import (
+    BatchReport,
+    LRUCache,
+    QueryFingerprint,
+    RewritingSession,
+    ViewRelevanceIndex,
+    fingerprint,
+    run_batch,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Atom",
+    "BatchReport",
     "BucketRewriter",
     "Comparison",
     "ComparisonOperator",
@@ -103,16 +113,19 @@ __all__ = [
     "ExhaustiveRewriter",
     "FunctionTerm",
     "InverseRulesRewriter",
+    "LRUCache",
     "MiniConRewriter",
     "OptimizationResult",
     "ParseError",
     "PlanChoice",
     "QueryConstructionError",
+    "QueryFingerprint",
     "ReproError",
     "Rewriting",
     "RewritingError",
     "RewritingKind",
     "RewritingResult",
+    "RewritingSession",
     "SchemaError",
     "Substitution",
     "UnionQuery",
@@ -120,6 +133,7 @@ __all__ = [
     "UnsupportedFeatureError",
     "Variable",
     "View",
+    "ViewRelevanceIndex",
     "ViewSet",
     "certain_answers",
     "choose_best_plan",
@@ -134,6 +148,7 @@ __all__ = [
     "is_contained_rewriting",
     "is_equivalent",
     "is_satisfiable",
+    "fingerprint",
     "materialize_views",
     "maximally_contained_rewriting",
     "measured_cost",
@@ -146,6 +161,7 @@ __all__ = [
     "parse_views",
     "partial_rewritings",
     "rewrite",
+    "run_batch",
     "to_datalog",
     "view_is_relevant",
     "view_is_usable",

@@ -10,8 +10,14 @@ without writing Python:
     facts.
 ``python -m repro certain``
     Compute certain answers from materialized view instances.
+``python -m repro serve``
+    Run a long-lived rewriting session that reads queries line by line and
+    serves them through the fingerprint cache.
+``python -m repro batch``
+    Process a file of workload queries through one session, optionally with
+    multiprocessing fan-out, and report per-query results and throughput.
 ``python -m repro experiments``
-    List the reproduced experiments (E1..E10) and the bench that regenerates
+    List the reproduced experiments (E1..E11) and the bench that regenerates
     each.
 
 Queries and views are given inline or in files, in the datalog syntax of
@@ -26,12 +32,14 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.errors import ReproError
-from repro.datalog.parser import parse_database, parse_query, parse_views
+from repro.datalog.parser import parse_database, parse_program, parse_query, parse_views
 from repro.engine.database import Database
 from repro.engine.evaluate import evaluate, materialize_views
 from repro.experiments.registry import all_experiments
 from repro.rewriting.certain import certain_answers
 from repro.rewriting.rewriter import ALGORITHMS, MODES, rewrite
+from repro.service.batch import run_batch
+from repro.service.session import RewritingSession
 
 
 def _read_text(value: str) -> str:
@@ -97,6 +105,109 @@ def _command_certain(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace, out) -> int:
+    views = parse_views(_read_text(args.views))
+    database = _load_database(args.database) if args.database else None
+    session = RewritingSession(
+        views,
+        database=database,
+        algorithm=args.algorithm,
+        mode=args.mode,
+        cache_size=args.cache_size,
+        use_view_index=not args.no_view_index,
+    )
+    source = Path(args.input).open() if args.input else sys.stdin
+    served = 0
+    try:
+        for line in source:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line in (":quit", ":exit"):
+                break
+            if line == ":stats":
+                _print_session_stats(session, out)
+                continue
+            try:
+                query = parse_query(line)
+                if database is not None and args.answers:
+                    rows, result = session.answer_with_plan(query)
+                else:
+                    rows, result = None, session.rewrite_cached(query)
+            except ReproError as error:
+                # One bad request must not take the server down.
+                print(f"error: {error}", file=out)
+                continue
+            served += 1
+            tag = "hit " if session.last_cache_hit else "miss"
+            if result.best is None:
+                print(f"[{tag}] no rewriting found", file=out)
+            else:
+                print(f"[{tag}] {result.best.query}", file=out)
+            if rows is not None:
+                for row in sorted(rows, key=repr):
+                    print("\t".join(str(value) for value in row), file=out)
+                print(f"# {len(rows)} answers", file=out)
+    finally:
+        if source is not sys.stdin:
+            source.close()
+    print(f"# served {served} queries", file=out)
+    _print_session_stats(session, out)
+    return 0
+
+
+def _print_session_stats(session: RewritingSession, out) -> None:
+    stats = session.stats()
+    rewrite_stats = stats["rewrite_cache"]
+    index_stats = stats["view_index"]
+    print(
+        f"# cache: {rewrite_stats['hits']} hits / {rewrite_stats['misses']} misses "
+        f"(rate {rewrite_stats['hit_rate']:.2f}), {rewrite_stats['evictions']} evictions",
+        file=out,
+    )
+    if index_stats is not None:
+        print(
+            f"# view index: {index_stats['views_pruned']} views pruned, "
+            f"{index_stats['views_admitted']} admitted across "
+            f"{index_stats['queries_filtered']} queries",
+            file=out,
+        )
+
+
+def _command_batch(args: argparse.Namespace, out) -> int:
+    queries = parse_program(_read_text(args.queries))
+    views = parse_views(_read_text(args.views))
+    database = _load_database(args.database) if args.database else None
+    report = run_batch(
+        queries,
+        views,
+        database=database,
+        algorithm=args.algorithm,
+        mode=args.mode,
+        cache_size=args.cache_size,
+        use_view_index=not args.no_view_index,
+        with_answers=args.answers,
+        processes=args.processes,
+    )
+    for item in report.items:
+        status = "error" if item.error else ("hit " if item.cache_hit else "miss")
+        summary = item.error or item.best or "no rewriting found"
+        answers = f" answers={item.answers}" if item.answers is not None else ""
+        print(f"[{status}] {item.query}  ->  {summary}{answers}", file=out)
+    print(
+        f"# {report.requests} queries, {report.cache_hits} cache hits, "
+        f"{report.errors} errors, {report.elapsed:.3f}s "
+        f"({report.throughput:.1f} q/s, {report.processes} process(es))",
+        file=out,
+    )
+    if args.json:
+        import json
+
+        Path(args.json).write_text(json.dumps(report.to_dict(), indent=2))
+        print(f"# wrote {args.json}", file=out)
+    return 0 if report.errors == 0 else 1
+
+
 def _command_experiments(args: argparse.Namespace, out) -> int:
     for experiment in all_experiments():
         print(f"{experiment.id:<4} [{experiment.artefact:<6}] {experiment.title}", file=out)
@@ -145,6 +256,51 @@ def build_parser() -> argparse.ArgumentParser:
         default="inverse-rules",
     )
     certain_parser.set_defaults(handler=_command_certain)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve queries line by line through a caching session"
+    )
+    serve_parser.add_argument("--views", required=True, help="view definitions text or file")
+    serve_parser.add_argument("--database", help="optional facts text or file")
+    serve_parser.add_argument("--algorithm", choices=ALGORITHMS, default="minicon")
+    serve_parser.add_argument("--mode", choices=MODES, default="equivalent")
+    serve_parser.add_argument("--cache-size", type=int, default=512)
+    serve_parser.add_argument(
+        "--input", help="file of queries, one per line (default: stdin)"
+    )
+    serve_parser.add_argument(
+        "--answers", action="store_true",
+        help="also evaluate each query over the database",
+    )
+    serve_parser.add_argument(
+        "--no-view-index", action="store_true", help="disable view-relevance pruning"
+    )
+    serve_parser.set_defaults(handler=_command_serve)
+
+    batch_parser = subparsers.add_parser(
+        "batch", help="process a workload file through one caching session"
+    )
+    batch_parser.add_argument(
+        "--queries", required=True, help="workload queries (datalog rules, text or file)"
+    )
+    batch_parser.add_argument("--views", required=True, help="view definitions text or file")
+    batch_parser.add_argument("--database", help="optional facts text or file")
+    batch_parser.add_argument("--algorithm", choices=ALGORITHMS, default="minicon")
+    batch_parser.add_argument("--mode", choices=MODES, default="equivalent")
+    batch_parser.add_argument("--cache-size", type=int, default=512)
+    batch_parser.add_argument(
+        "--processes", type=int, default=1,
+        help="worker processes (>1 enables multiprocessing fan-out)",
+    )
+    batch_parser.add_argument(
+        "--answers", action="store_true",
+        help="also evaluate each query over the database",
+    )
+    batch_parser.add_argument(
+        "--no-view-index", action="store_true", help="disable view-relevance pruning"
+    )
+    batch_parser.add_argument("--json", help="write the full report to this JSON file")
+    batch_parser.set_defaults(handler=_command_batch)
 
     experiments_parser = subparsers.add_parser(
         "experiments", help="list the reproduced experiments"

@@ -21,15 +21,33 @@ from repro.datalog.terms import Constant, Term, Variable
 FROZEN_PREFIX = "@frozen:"
 
 
+def _escape_frozen(text: str) -> str:
+    """Escape the ``:`` separator (and the escape character) in tags and names.
+
+    Without escaping, the distinct pairs ``(tag="a:b", name="c")`` and
+    ``(tag="a", name="b:c")`` would both freeze to ``@frozen:a:b:c`` and the
+    two variables would collapse into one frozen constant.
+    """
+    return text.replace("%", "%25").replace(":", "%3A")
+
+
+def _unescape_frozen(text: str) -> str:
+    return text.replace("%3A", ":").replace("%25", "%")
+
+
 def freeze_variable(variable: Variable, tag: str = "") -> Constant:
     """The frozen constant standing for a query variable.
 
     A non-empty ``tag`` namespaces the constant (``@frozen:tag:X``) so that
-    frozen constants of different queries never collide.
+    frozen constants of different queries never collide.  ``:`` occurring in
+    the tag or the variable name is escaped so distinct (tag, name) pairs
+    always freeze to distinct constants.
     """
     if tag:
-        return Constant(f"{FROZEN_PREFIX}{tag}:{variable.name}")
-    return Constant(f"{FROZEN_PREFIX}{variable.name}")
+        return Constant(
+            f"{FROZEN_PREFIX}{_escape_frozen(tag)}:{_escape_frozen(variable.name)}"
+        )
+    return Constant(f"{FROZEN_PREFIX}{_escape_frozen(variable.name)}")
 
 
 def is_frozen_constant(term: Term) -> bool:
@@ -78,10 +96,12 @@ def unfreeze_term(term: Term) -> Term:
     if is_frozen_constant(term):
         assert isinstance(term, Constant) and isinstance(term.value, str)
         name = term.value[len(FROZEN_PREFIX):]
-        # Drop a namespacing tag of the form "tag:" if present.
+        # Drop a namespacing tag of the form "tag:" if present.  Separators
+        # inside the tag and the name itself are escaped by freezing, so the
+        # split below is unambiguous.
         if ":" in name:
             name = name.rsplit(":", 1)[1]
-        return Variable(name)
+        return Variable(_unescape_frozen(name))
     return term
 
 

@@ -30,13 +30,30 @@ class FreshVariableFactory:
     def __init__(self, reserved: Iterable["Variable | str"] = (), prefix: str = "_F"):
         self._prefix = prefix
         self._used: Set[str] = set()
-        self._counter = itertools.count(1)
+        self._count = 0
         self.reserve(reserved)
 
     def reserve(self, items: Iterable["Variable | str"]) -> None:
         """Mark additional names as unavailable."""
         for item in items:
             self._used.add(item.name if isinstance(item, Variable) else str(item))
+
+    def _issued_counter_name(self, name: str) -> bool:
+        """Whether ``name`` is a counter-generated name this factory already issued.
+
+        Counter-generated names are not stored in ``_used`` (see the fast path
+        in :meth:`fresh`), so hint-based generation consults the counter
+        directly; the check is O(1).
+        """
+        if not name.startswith(self._prefix):
+            return False
+        suffix = name[len(self._prefix):]
+        if not suffix.isdigit() or str(int(suffix)) != suffix:
+            return False
+        return 0 < int(suffix) <= self._count
+
+    def _taken(self, name: str) -> bool:
+        return name in self._used or self._issued_counter_name(name)
 
     def fresh(self, hint: str = "") -> Variable:
         """A variable whose name has never been produced or reserved.
@@ -46,18 +63,23 @@ class FreshVariableFactory:
         """
         if hint:
             candidate = hint
-            if candidate not in self._used:
+            if not self._taken(candidate):
                 self._used.add(candidate)
                 return Variable(candidate)
             for i in itertools.count(1):
                 candidate = f"{hint}_{i}"
-                if candidate not in self._used:
+                if not self._taken(candidate):
                     self._used.add(candidate)
                     return Variable(candidate)
+        if not self._used:
+            # Fast path for the empty reserved set: counter-generated names
+            # cannot collide with anything, so skip the membership scan.
+            self._count += 1
+            return Variable(f"{self._prefix}{self._count}")
         while True:
-            candidate = f"{self._prefix}{next(self._counter)}"
+            self._count += 1
+            candidate = f"{self._prefix}{self._count}"
             if candidate not in self._used:
-                self._used.add(candidate)
                 return Variable(candidate)
 
     def fresh_many(self, count: int, hint: str = "") -> Iterator[Variable]:
@@ -76,11 +98,14 @@ def rename_apart(
     Only variables that actually clash are renamed; the result is a
     substitution suitable for applying to the query owning ``variables``.
     """
+    owned = tuple(variables)
     avoid_names = {v.name for v in avoid}
+    clashing = [var for var in owned if var.name in avoid_names]
+    if not clashing:
+        # Fast path: nothing clashes, so no factory (and no reserved-set scan)
+        # is needed at all.
+        return Substitution({})
     if factory is None:
-        factory = FreshVariableFactory(reserved=avoid_names | {v.name for v in variables})
-    mapping = {}
-    for var in variables:
-        if var.name in avoid_names:
-            mapping[var] = factory.fresh(var.name)
+        factory = FreshVariableFactory(reserved=avoid_names | {v.name for v in owned})
+    mapping = {var: factory.fresh(var.name) for var in clashing}
     return Substitution(mapping)

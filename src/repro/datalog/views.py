@@ -92,7 +92,7 @@ class ViewSet:
     iterable of views (in insertion order).
     """
 
-    __slots__ = ("_views",)
+    __slots__ = ("_views", "_version_token")
 
     def __init__(self, views: Iterable[View] = ()):
         ordered: Dict[str, View] = {}
@@ -103,6 +103,21 @@ class ViewSet:
                 raise QueryConstructionError(f"duplicate view name: {view.name}")
             ordered[view.name] = view
         object.__setattr__(self, "_views", ordered)
+        object.__setattr__(self, "_version_token", None)
+
+    def version_token(self) -> int:
+        """A token identifying this view set's contents.
+
+        View sets are immutable, so "the views changed" means a *different*
+        ``ViewSet`` object is now in play; caches compare tokens to detect
+        that.  Equal contents yield equal tokens (within a process); the token
+        is computed lazily and cached.
+        """
+        token = self._version_token
+        if token is None:
+            token = hash(tuple(self._views.items()))
+            object.__setattr__(self, "_version_token", token)
+        return token
 
     def __setattr__(self, key: str, value: Any) -> None:  # pragma: no cover
         raise AttributeError("ViewSet is immutable")

@@ -31,10 +31,19 @@ class Database:
 
     def __init__(self, relations: Iterable[Relation] = ()):
         self._relations: Dict[str, Relation] = {}
+        #: Monotonic mutation counter.  Every call that changes the database's
+        #: contents bumps it, so caches keyed on (database, version) can detect
+        #: staleness without hashing the data.
+        self._version = 0
         for relation in relations:
             if relation.name in self._relations:
                 raise SchemaError(f"duplicate relation name: {relation.name}")
             self._relations[relation.name] = relation.copy()
+
+    @property
+    def version(self) -> int:
+        """The current mutation counter (see ``__init__``)."""
+        return self._version
 
     # -- construction ------------------------------------------------------------
     @classmethod
@@ -62,7 +71,11 @@ class Database:
         if relation is None:
             relation = Relation(relation_name, len(values))
             self._relations[relation_name] = relation
-        return relation.add(values)
+            self._version += 1
+        added = relation.add(values)
+        if added:
+            self._version += 1
+        return added
 
     def add_atom(self, atom: Atom) -> bool:
         """Insert a ground atom as a fact."""
@@ -73,13 +86,20 @@ class Database:
     def add_relation(self, relation: Relation) -> None:
         """Add (or replace) an entire relation."""
         self._relations[relation.name] = relation.copy()
+        self._version += 1
 
     def ensure_relation(self, name: str, arity: int) -> Relation:
-        """Get the named relation, creating an empty one of the given arity if absent."""
+        """Get the named relation, creating an empty one of the given arity if absent.
+
+        Note that the returned :class:`Relation` is mutable; callers that add
+        tuples to it directly bypass the version counter and should go through
+        :meth:`add_fact` when cache invalidation matters.
+        """
         relation = self._relations.get(name)
         if relation is None:
             relation = Relation(name, arity)
             self._relations[name] = relation
+            self._version += 1
         elif relation.arity != arity:
             raise SchemaError(
                 f"relation {name} exists with arity {relation.arity}, requested {arity}"
@@ -87,7 +107,8 @@ class Database:
         return relation
 
     def remove_relation(self, name: str) -> None:
-        self._relations.pop(name, None)
+        if self._relations.pop(name, None) is not None:
+            self._version += 1
 
     # -- access ----------------------------------------------------------------------
     def relation(self, name: str) -> Optional[Relation]:

@@ -1,4 +1,4 @@
-"""A small registry mapping experiment ids (E1..E10) to their descriptions.
+"""A small registry mapping experiment ids (E1..E11) to their descriptions.
 
 The registry exists so ``benchmarks/`` and ``EXPERIMENTS.md`` agree on what
 each experiment id means; benchmark modules register themselves at import
@@ -79,6 +79,10 @@ EXPERIMENTS = [
     Experiment("E10", "Ablation: MiniCon MCD pruning vs bucket cross-product", "table",
                "MCDs prune the candidate space that the bucket algorithm enumerates",
                "benchmarks/bench_e10_ablation_mcd.py"),
+    Experiment("E11", "Service throughput: fingerprint cache vs one-shot rewriting", "table",
+               "A warm RewritingSession serves repeated (isomorphic) workload queries "
+               "at >=5x the throughput of the cold path, with identical results",
+               "benchmarks/bench_e11_service_throughput.py"),
 ]
 
 for _experiment in EXPERIMENTS:

@@ -25,7 +25,7 @@ avoid, and that the E10 ablation benchmark quantifies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.datalog.atoms import Atom, Comparison
 from repro.datalog.freshen import FreshVariableFactory
@@ -81,6 +81,11 @@ class BucketRewriter:
         ``None`` means unlimited.  When the cap is reached the result's
         ``candidates_examined`` equals the cap and the maximally-contained
         union may be incomplete.
+    candidate_filter:
+        Optional ``(query, view) -> bool`` predicate consulted once per view
+        during bucket creation; views it rejects are skipped.  Used by the
+        serving layer's view-relevance index (see
+        :mod:`repro.service.view_index`).
     """
 
     algorithm_name = "bucket"
@@ -89,18 +94,25 @@ class BucketRewriter:
         self,
         views: "ViewSet | Iterable[View]",
         max_candidates: Optional[int] = None,
+        candidate_filter: Optional["Callable[[ConjunctiveQuery, View], bool]"] = None,
     ):
         self.views = views if isinstance(views, ViewSet) else ViewSet(list(views))
         self.max_candidates = max_candidates
+        self.candidate_filter = candidate_filter
 
     # -- phase 1: bucket creation ------------------------------------------------
     def build_buckets(self, query: ConjunctiveQuery) -> List[Bucket]:
         """Create one bucket per query subgoal."""
         buckets: List[Bucket] = []
         head_vars = set(query.head.variables())
+        usable_views = [
+            view
+            for view in self.views
+            if self.candidate_filter is None or self.candidate_filter(query, view)
+        ]
         for index, subgoal in enumerate(query.body):
             bucket = Bucket(subgoal=subgoal, subgoal_index=index)
-            for view in self.views:
+            for view in usable_views:
                 bucket.entries.extend(
                     self._entries_for(query, subgoal, index, view, head_vars)
                 )

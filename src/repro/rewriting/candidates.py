@@ -19,12 +19,20 @@ interpreted containment test used for verification.)
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.datalog.atoms import Atom
 from repro.datalog.queries import ConjunctiveQuery
 from repro.datalog.views import View, ViewSet
 from repro.containment.homomorphism import homomorphisms
+
+#: A predicate deciding whether a view is worth considering for a query.
+#: Returning ``False`` must only prune views that provably cannot contribute
+#: (e.g. views whose body mentions relations absent from the query) — the
+#: filter is a fast path, not a semantic change.  See
+#: :class:`repro.service.view_index.ViewRelevanceIndex` for the standard source
+#: of such filters.
+CandidateFilter = Callable[[ConjunctiveQuery, View], bool]
 
 
 def candidate_atoms_for_view(query: ConjunctiveQuery, view: View) -> List[Atom]:
@@ -38,17 +46,23 @@ def candidate_atoms_for_view(query: ConjunctiveQuery, view: View) -> List[Atom]:
 
 
 def candidate_view_atoms(
-    query: ConjunctiveQuery, views: "ViewSet | Iterable[View]"
+    query: ConjunctiveQuery,
+    views: "ViewSet | Iterable[View]",
+    candidate_filter: Optional[CandidateFilter] = None,
 ) -> List[Atom]:
     """All candidate view atoms for an equivalent rewriting of ``query``.
 
     The result is ordered view by view (in the views' order) and deduplicated.
     An empty result means no view's body can be mapped into the query at all,
-    so no equivalent view-only rewriting can exist.
+    so no equivalent view-only rewriting can exist.  An optional
+    ``candidate_filter`` skips views before the (expensive) homomorphism
+    enumeration; see :data:`CandidateFilter`.
     """
     atoms: List[Atom] = []
     seen: set = set()
     for view in views:
+        if candidate_filter is not None and not candidate_filter(query, view):
+            continue
         for atom in candidate_atoms_for_view(query, view):
             if atom not in seen:
                 seen.add(atom)
@@ -57,7 +71,13 @@ def candidate_view_atoms(
 
 
 def candidates_by_view(
-    query: ConjunctiveQuery, views: "ViewSet | Iterable[View]"
+    query: ConjunctiveQuery,
+    views: "ViewSet | Iterable[View]",
+    candidate_filter: Optional[CandidateFilter] = None,
 ) -> Dict[str, List[Atom]]:
     """Candidate atoms grouped by view name (useful for diagnostics and tests)."""
-    return {view.name: candidate_atoms_for_view(query, view) for view in views}
+    return {
+        view.name: candidate_atoms_for_view(query, view)
+        for view in views
+        if candidate_filter is None or candidate_filter(query, view)
+    }

@@ -48,6 +48,7 @@ def maximally_contained_rewriting(
     views: "ViewSet | Iterable[View]",
     algorithm: str = "minicon",
     prune: bool = True,
+    candidate_filter=None,
 ) -> Optional[Rewriting]:
     """The maximally-contained union rewriting of ``query`` over ``views``.
 
@@ -55,12 +56,16 @@ def maximally_contained_rewriting(
     ``algorithm`` selects the generator of contained rewritings (``"minicon"``
     or ``"bucket"``); ``prune`` removes disjuncts subsumed by other disjuncts,
     which keeps the union small without changing its meaning.
+    ``candidate_filter`` is the optional per-view pruning predicate of
+    :mod:`repro.rewriting.candidates`, forwarded to the generator.
     """
     view_set = views if isinstance(views, ViewSet) else ViewSet(list(views))
     if algorithm == "minicon":
-        rewriter: "MiniConRewriter | BucketRewriter" = MiniConRewriter(view_set)
+        rewriter: "MiniConRewriter | BucketRewriter" = MiniConRewriter(
+            view_set, candidate_filter=candidate_filter
+        )
     elif algorithm == "bucket":
-        rewriter = BucketRewriter(view_set)
+        rewriter = BucketRewriter(view_set, candidate_filter=candidate_filter)
     else:
         raise RewritingError(
             f"unknown algorithm {algorithm!r} for maximally-contained rewriting "

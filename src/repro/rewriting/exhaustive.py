@@ -16,7 +16,7 @@ E3 benchmark measures exactly this growth.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.datalog.atoms import Atom, Comparison, ComparisonOperator
 from repro.datalog.queries import ConjunctiveQuery
@@ -87,6 +87,10 @@ class ExhaustiveRewriter:
     minimize_query:
         Minimize the input query before searching (recommended; the paper's
         bound is stated for minimal queries).
+    candidate_filter:
+        Optional ``(query, view) -> bool`` predicate; views it rejects are
+        skipped during candidate-atom enumeration (see
+        :mod:`repro.rewriting.candidates`).
     """
 
     algorithm_name = "exhaustive"
@@ -97,11 +101,13 @@ class ExhaustiveRewriter:
         max_subgoals: Optional[int] = None,
         find_all: bool = False,
         minimize_query: bool = True,
+        candidate_filter: Optional["Callable[[ConjunctiveQuery, View], bool]"] = None,
     ):
         self.views = views if isinstance(views, ViewSet) else ViewSet(list(views))
         self.max_subgoals = max_subgoals
         self.find_all = find_all
         self.minimize_query = minimize_query
+        self.candidate_filter = candidate_filter
 
     # -- candidate construction ---------------------------------------------
     def _attach_comparisons(
@@ -141,7 +147,9 @@ class ExhaustiveRewriter:
         if self.minimize_query:
             target = minimize(target)
         result = RewritingResult(query=query, views=self.views, algorithm=self.algorithm_name)
-        candidates = candidate_view_atoms(target, self.views)
+        candidates = candidate_view_atoms(
+            target, self.views, candidate_filter=self.candidate_filter
+        )
         if not candidates:
             return result
         bound = target.size() if self.max_subgoals is None else min(

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import UnsupportedFeatureError
 from repro.datalog.atoms import Atom, Comparison
@@ -90,6 +90,11 @@ class MiniConRewriter:
         soundness).
     max_rewritings:
         Optional cap on the number of rewritings assembled.
+    candidate_filter:
+        Optional ``(query, view) -> bool`` predicate consulted before MCD
+        formation for each view; views it rejects are skipped entirely.  Used
+        by the serving layer's view-relevance index to prune views that cannot
+        contribute (see :mod:`repro.service.view_index`).
     """
 
     algorithm_name = "minicon"
@@ -99,10 +104,12 @@ class MiniConRewriter:
         views: "ViewSet | Iterable[View]",
         verify_rewritings: bool = True,
         max_rewritings: Optional[int] = None,
+        candidate_filter: Optional["Callable[[ConjunctiveQuery, View], bool]"] = None,
     ):
         self.views = views if isinstance(views, ViewSet) else ViewSet(list(views))
         self.verify_rewritings = verify_rewritings
         self.max_rewritings = max_rewritings
+        self.candidate_filter = candidate_filter
 
     # -- phase 1: MCD formation -----------------------------------------------
     def form_mcds(self, query: ConjunctiveQuery) -> List[MCD]:
@@ -110,6 +117,8 @@ class MiniConRewriter:
         mcds: List[MCD] = []
         seen: set = set()
         for view in self.views:
+            if self.candidate_filter is not None and not self.candidate_filter(query, view):
+                continue
             definition = view.definition.freshened_against(query)
             for index, subgoal in enumerate(query.body):
                 for view_subgoal in definition.body:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import time
-from typing import Iterable, Optional, Union
+from typing import Callable, Iterable, Optional, Union
 
 from repro.errors import RewritingError
 from repro.datalog.queries import ConjunctiveQuery
@@ -23,14 +23,22 @@ ALGORITHMS = ("exhaustive", "bucket", "minicon", "inverse-rules")
 MODES = ("equivalent", "contained", "maximally-contained", "partial")
 
 
-def _make_rewriter(algorithm: str, views: ViewSet):
+#: Optional per-view pruning predicate, see :mod:`repro.rewriting.candidates`.
+CandidateFilter = Callable[[ConjunctiveQuery, View], bool]
+
+
+def _make_rewriter(
+    algorithm: str, views: ViewSet, candidate_filter: Optional[CandidateFilter] = None
+):
     if algorithm == "exhaustive":
-        return ExhaustiveRewriter(views, find_all=False)
+        return ExhaustiveRewriter(views, find_all=False, candidate_filter=candidate_filter)
     if algorithm == "bucket":
-        return BucketRewriter(views)
+        return BucketRewriter(views, candidate_filter=candidate_filter)
     if algorithm == "minicon":
-        return MiniConRewriter(views)
+        return MiniConRewriter(views, candidate_filter=candidate_filter)
     if algorithm == "inverse-rules":
+        # Inverse rules range over every view by construction; there is
+        # nothing to prune per query.
         return InverseRulesRewriter(views)
     raise RewritingError(
         f"unknown algorithm {algorithm!r}; expected one of {', '.join(ALGORITHMS)}"
@@ -42,6 +50,7 @@ def rewrite(
     views: "ViewSet | Iterable[View]",
     algorithm: str = "minicon",
     mode: str = "equivalent",
+    candidate_filter: Optional[CandidateFilter] = None,
 ) -> RewritingResult:
     """Rewrite ``query`` over ``views``.
 
@@ -59,6 +68,10 @@ def rewrite(
         * ``"contained"`` — report every contained conjunctive rewriting;
         * ``"maximally-contained"`` — additionally assemble the union plan;
         * ``"partial"`` — equivalent rewritings that may keep base relations.
+    candidate_filter:
+        Optional ``(query, view) -> bool`` pruning predicate forwarded to the
+        algorithms that support it (exhaustive, bucket, minicon).  A sound
+        filter only rejects views that cannot contribute to any rewriting.
 
     Returns
     -------
@@ -76,7 +89,7 @@ def rewrite(
         result.elapsed = time.perf_counter() - started
         return result
 
-    rewriter = _make_rewriter(algorithm, view_set)
+    rewriter = _make_rewriter(algorithm, view_set, candidate_filter)
     result = rewriter.rewrite(query)
 
     if mode == "equivalent" and algorithm != "inverse-rules":
@@ -84,7 +97,9 @@ def rewrite(
             r for r in result.rewritings if r.kind is RewritingKind.EQUIVALENT
         ]
     elif mode == "maximally-contained" and algorithm in ("bucket", "minicon"):
-        union = maximally_contained_rewriting(query, view_set, algorithm=algorithm)
+        union = maximally_contained_rewriting(
+            query, view_set, algorithm=algorithm, candidate_filter=candidate_filter
+        )
         if union is not None:
             result.rewritings.append(union)
     result.elapsed = time.perf_counter() - started

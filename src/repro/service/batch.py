@@ -1,0 +1,260 @@
+"""Batch processing of query workloads through a :class:`RewritingSession`.
+
+The batch API accepts a stream of queries (objects or datalog text), feeds
+them through one session, and reports per-query outcomes plus aggregate
+throughput.  An optional ``processes`` fan-out partitions the stream across
+worker processes, each owning its own session; queries and views travel as
+datalog text (the printed form round-trips through the parser), so nothing
+unpicklable crosses the process boundary.
+
+Per-worker caches are independent: fan-out trades cache sharing for
+parallelism and pays off when the workload is dominated by distinct queries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.errors import ReproError
+from repro.datalog.parser import parse_database, parse_query, parse_views
+from repro.datalog.printer import to_datalog, views_to_datalog
+from repro.datalog.queries import ConjunctiveQuery
+from repro.datalog.views import View, ViewSet
+from repro.engine.database import Database
+from repro.service.session import RewritingSession
+
+
+@dataclass
+class BatchItem:
+    """The outcome of one query in a batch."""
+
+    index: int
+    query: str
+    fingerprint: str = ""
+    cache_hit: bool = False
+    rewritings: int = 0
+    equivalent: bool = False
+    best: Optional[str] = None
+    answers: Optional[int] = None
+    elapsed: float = 0.0
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "query": self.query,
+            "fingerprint": self.fingerprint,
+            "cache_hit": self.cache_hit,
+            "rewritings": self.rewritings,
+            "equivalent": self.equivalent,
+            "best": self.best,
+            "answers": self.answers,
+            "elapsed": self.elapsed,
+            "error": self.error,
+        }
+
+
+@dataclass
+class BatchReport:
+    """Aggregate outcome of a batch run."""
+
+    items: List[BatchItem] = field(default_factory=list)
+    elapsed: float = 0.0
+    processes: int = 1
+    session_stats: Optional[Dict[str, Any]] = None
+
+    @property
+    def requests(self) -> int:
+        return len(self.items)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for item in self.items if item.cache_hit)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for item in self.items if item.error is not None)
+
+    @property
+    def throughput(self) -> float:
+        """Requests per second over the whole batch."""
+        return self.requests / self.elapsed if self.elapsed > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "errors": self.errors,
+            "elapsed": self.elapsed,
+            "throughput": self.throughput,
+            "processes": self.processes,
+            "session_stats": self.session_stats,
+            "items": [item.to_dict() for item in self.items],
+        }
+
+
+def _as_query_text(query: "ConjunctiveQuery | str") -> str:
+    if isinstance(query, ConjunctiveQuery):
+        return to_datalog(query)
+    return str(query)
+
+
+def _process_one(
+    session: RewritingSession, index: int, query_text: str, with_answers: bool
+) -> BatchItem:
+    item = BatchItem(index=index, query=query_text)
+    started = time.perf_counter()
+    try:
+        query = parse_query(query_text)
+        if with_answers:
+            answers, result = session.answer_with_plan(query)
+            item.answers = len(answers)
+        else:
+            result = session.rewrite_cached(query)
+        item.fingerprint = session.last_fingerprint
+        item.cache_hit = session.last_cache_hit
+        item.rewritings = len(result.rewritings)
+        item.equivalent = result.has_equivalent
+        best = result.best
+        if best is not None:
+            item.best = to_datalog(best.query)
+    except ReproError as error:
+        item.error = str(error)
+    item.elapsed = time.perf_counter() - started
+    return item
+
+
+# ---------------------------------------------------------------------------
+# Multiprocessing workers (module-level so they pickle)
+# ---------------------------------------------------------------------------
+
+_WORKER_SESSION: Optional[RewritingSession] = None
+_WORKER_WITH_ANSWERS = False
+
+
+def _init_worker(
+    views_text: str,
+    facts_text: Optional[str],
+    algorithm: str,
+    mode: str,
+    cache_size: int,
+    use_view_index: bool,
+    with_answers: bool,
+) -> None:
+    global _WORKER_SESSION, _WORKER_WITH_ANSWERS
+    database = (
+        Database.from_atoms(parse_database(facts_text)) if facts_text else None
+    )
+    _WORKER_SESSION = RewritingSession(
+        parse_views(views_text),
+        database=database,
+        algorithm=algorithm,
+        mode=mode,
+        cache_size=cache_size,
+        use_view_index=use_view_index,
+    )
+    _WORKER_WITH_ANSWERS = with_answers
+
+
+def _worker_run(task: "tuple[int, str]") -> Dict[str, Any]:
+    assert _WORKER_SESSION is not None
+    index, query_text = task
+    return _process_one(_WORKER_SESSION, index, query_text, _WORKER_WITH_ANSWERS).to_dict()
+
+
+def _database_to_facts_text(database: Database) -> str:
+    return "\n".join(f"{atom}." for atom in database.facts())
+
+
+# ---------------------------------------------------------------------------
+# Front door
+# ---------------------------------------------------------------------------
+
+def run_batch(
+    queries: Sequence["ConjunctiveQuery | str"],
+    views: "ViewSet | Iterable[View]",
+    database: Optional[Database] = None,
+    algorithm: str = "minicon",
+    mode: str = "equivalent",
+    cache_size: int = 512,
+    use_view_index: bool = True,
+    with_answers: bool = False,
+    processes: int = 1,
+) -> BatchReport:
+    """Process a workload of queries and report per-query and aggregate results.
+
+    ``processes > 1`` fans the stream out over a :mod:`multiprocessing` pool
+    (one session per worker).  If the pool cannot be created the batch falls
+    back to sequential processing rather than failing.
+    """
+    view_set = views if isinstance(views, ViewSet) else ViewSet(list(views))
+    texts = [_as_query_text(q) for q in queries]
+    if with_answers and database is None:
+        raise ReproError("run_batch(with_answers=True) requires a database")
+
+    started = time.perf_counter()
+    if processes > 1 and len(texts) > 1:
+        report = _run_parallel(
+            texts, view_set, database, algorithm, mode, cache_size,
+            use_view_index, with_answers, processes,
+        )
+        if report is not None:
+            report.elapsed = time.perf_counter() - started
+            return report
+        # Pool creation failed; fall through to the sequential path.
+
+    session = RewritingSession(
+        view_set,
+        database=database,
+        algorithm=algorithm,
+        mode=mode,
+        cache_size=cache_size,
+        use_view_index=use_view_index,
+    )
+    items = [
+        _process_one(session, index, text, with_answers)
+        for index, text in enumerate(texts)
+    ]
+    return BatchReport(
+        items=items,
+        elapsed=time.perf_counter() - started,
+        processes=1,
+        session_stats=session.stats(),
+    )
+
+
+def _run_parallel(
+    texts: List[str],
+    views: ViewSet,
+    database: Optional[Database],
+    algorithm: str,
+    mode: str,
+    cache_size: int,
+    use_view_index: bool,
+    with_answers: bool,
+    processes: int,
+) -> Optional[BatchReport]:
+    try:
+        import multiprocessing
+    except ImportError:  # pragma: no cover - multiprocessing is stdlib
+        return None
+    views_text = views_to_datalog(views)
+    facts_text = _database_to_facts_text(database) if database is not None else None
+    worker_count = max(2, min(processes, len(texts)))
+    try:
+        context = multiprocessing.get_context()
+        with context.Pool(
+            processes=worker_count,
+            initializer=_init_worker,
+            initargs=(
+                views_text, facts_text, algorithm, mode, cache_size,
+                use_view_index, with_answers,
+            ),
+        ) as pool:
+            raw = pool.map(_worker_run, list(enumerate(texts)))
+    except (OSError, ValueError):  # pragma: no cover - depends on host limits
+        return None
+    items = sorted((BatchItem(**entry) for entry in raw), key=lambda i: i.index)
+    return BatchReport(items=list(items), processes=worker_count, session_stats=None)

@@ -1,0 +1,386 @@
+"""The :class:`RewritingSession` facade: a long-lived, caching rewriting server.
+
+One session owns a view set, an optional database, a view-relevance index and
+three bounded LRU caches:
+
+* **rewritings**, keyed by the query's canonical fingerprint (so isomorphic
+  queries share one entry) plus algorithm and mode;
+* **answers**, keyed the same way and explicitly invalidated whenever the
+  database's version counter moves;
+* **containment verdicts**, keyed by the fingerprint pair (containment is
+  invariant under renaming either side).
+
+Cached rewritings are stored in *canonical variables*: on a miss, the result
+is renamed through the fingerprint's canonicalizing substitution before being
+stored; on a hit, the stored rewriting is renamed into the incoming query's
+own variables.  A repeated identical query therefore gets back exactly the
+result an uncached :func:`repro.rewriting.rewriter.rewrite` call would have
+produced, and an isomorphic variant gets the correctly renamed equivalent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import RewritingError
+from repro.datalog.freshen import FreshVariableFactory
+from repro.datalog.queries import ConjunctiveQuery, UnionQuery
+from repro.datalog.substitution import Substitution
+from repro.datalog.views import View, ViewSet
+from repro.containment.containment import is_contained
+from repro.engine.database import Database
+from repro.engine.evaluate import evaluate, materialize_views
+from repro.rewriting.plans import Rewriting, RewritingKind, RewritingResult
+from repro.rewriting.rewriter import ALGORITHMS, MODES, rewrite
+from repro.service.cache import LRUCache
+from repro.service.fingerprint import QueryFingerprint, fingerprint
+from repro.service.view_index import ViewRelevanceIndex
+
+QueryLike = Union[ConjunctiveQuery, UnionQuery]
+
+
+@dataclass(frozen=True)
+class _CachedRewriting:
+    """One rewriting stored in canonical variables."""
+
+    query: Any  # ConjunctiveQuery | UnionQuery (or an opaque plan object)
+    kind: RewritingKind
+    algorithm: str
+    views_used: Tuple[str, ...]
+    expansion: Any  # ConjunctiveQuery | UnionQuery | None
+
+
+@dataclass(frozen=True)
+class _CacheEntry:
+    """A cached rewriting result, minus the query-specific parts."""
+
+    algorithm: str
+    rewritings: Tuple[_CachedRewriting, ...]
+    candidates_examined: int
+
+
+def _retarget(obj: Any, renaming: Substitution, avoid_names: FrozenSet[str]) -> Any:
+    """Rename a query-like object through ``renaming``.
+
+    Variables outside the renaming's domain (an algorithm's fresh variables)
+    are kept, but first renamed apart when their names collide with
+    ``avoid_names`` (the names the renaming maps *onto*), so the result never
+    conflates two distinct variables.  Non-query objects pass through.
+    """
+    if isinstance(obj, UnionQuery):
+        return UnionQuery([_retarget(q, renaming, avoid_names) for q in obj.disjuncts])
+    if not isinstance(obj, ConjunctiveQuery):
+        return obj
+    extras = [v for v in obj.variables() if v not in renaming]
+    clashing = [v for v in extras if v.name in avoid_names]
+    if clashing:
+        factory = FreshVariableFactory(
+            reserved=set(avoid_names) | {v.name for v in obj.variables()}, prefix="_S"
+        )
+        apart = Substitution({v: factory.fresh(v.name) for v in clashing})
+        obj = obj.apply(apart, require_safe=False)
+    return obj.apply(renaming, require_safe=False)
+
+
+class RewritingSession:
+    """A persistent rewriting service over one view set (and optional database).
+
+    Parameters
+    ----------
+    views:
+        The materialized views available for rewriting.
+    database:
+        Optional base database; required for :meth:`answer`.
+    algorithm / mode:
+        Defaults forwarded to :func:`repro.rewriting.rewriter.rewrite`.
+    cache_size:
+        Bound of each LRU cache (0 disables caching).
+    use_view_index:
+        Consult a :class:`ViewRelevanceIndex` to prune views per request.
+    """
+
+    def __init__(
+        self,
+        views: "ViewSet | Iterable[View]",
+        database: Optional[Database] = None,
+        algorithm: str = "minicon",
+        mode: str = "equivalent",
+        cache_size: int = 512,
+        use_view_index: bool = True,
+    ):
+        if algorithm not in ALGORITHMS:
+            raise RewritingError(
+                f"unknown algorithm {algorithm!r}; expected one of {', '.join(ALGORITHMS)}"
+            )
+        if mode not in MODES:
+            raise RewritingError(
+                f"unknown mode {mode!r}; expected one of {', '.join(MODES)}"
+            )
+        self.algorithm = algorithm
+        self.mode = mode
+        self.use_view_index = use_view_index
+        self._views: ViewSet = views if isinstance(views, ViewSet) else ViewSet(list(views))
+        self._views_token = self._views.version_token()
+        self._index: Optional[ViewRelevanceIndex] = (
+            ViewRelevanceIndex(self._views) if use_view_index else None
+        )
+        self._database = database
+        self._db_version: Optional[int] = database.version if database is not None else None
+        self._materialized: Optional[Database] = None
+        self._rewrite_cache = LRUCache(cache_size)
+        # Memoizes the renaming of cached plans into a concrete query's own
+        # variables; repeated identical (or identically-named) queries skip
+        # the per-rewriting substitution work entirely.
+        self._translation_cache = LRUCache(cache_size)
+        self._answer_cache = LRUCache(cache_size)
+        self._containment_cache = LRUCache(cache_size)
+        self.requests = 0
+        self.invalidations = 0
+        #: Whether the most recent rewrite_cached/answer call was served from cache.
+        self.last_cache_hit = False
+        #: Fingerprint text of the most recently served query.
+        self.last_fingerprint = ""
+
+    # -- configuration ----------------------------------------------------------
+    @property
+    def views(self) -> ViewSet:
+        return self._views
+
+    @property
+    def database(self) -> Optional[Database]:
+        return self._database
+
+    def set_views(self, views: "ViewSet | Iterable[View]") -> None:
+        """Swap the view set; caches are invalidated unless the contents match."""
+        view_set = views if isinstance(views, ViewSet) else ViewSet(list(views))
+        if view_set.version_token() == self._views_token and view_set == self._views:
+            self._views = view_set
+            return
+        self._views = view_set
+        self._views_token = view_set.version_token()
+        self._index = ViewRelevanceIndex(view_set) if self.use_view_index else None
+        self._materialized = None
+        self._rewrite_cache.clear()
+        self._translation_cache.clear()
+        self._answer_cache.clear()
+        self.invalidations += 1
+
+    def set_database(self, database: Optional[Database]) -> None:
+        """Swap the base database; answer-side caches are invalidated."""
+        self._database = database
+        self._db_version = database.version if database is not None else None
+        self._materialized = None
+        self._answer_cache.clear()
+        self.invalidations += 1
+
+    def invalidate(self) -> None:
+        """Drop every cached rewriting, answer, verdict and materialization."""
+        self._rewrite_cache.clear()
+        self._translation_cache.clear()
+        self._answer_cache.clear()
+        self._containment_cache.clear()
+        self._materialized = None
+        self.invalidations += 1
+
+    # -- rewriting ----------------------------------------------------------------
+    def rewrite_cached(self, query: ConjunctiveQuery) -> RewritingResult:
+        """Rewrite ``query``, sharing work with every isomorphic earlier query."""
+        return self._rewrite_with_fp(query, fingerprint(query))
+
+    def _rewrite_with_fp(
+        self, query: ConjunctiveQuery, fp: QueryFingerprint
+    ) -> RewritingResult:
+        """The cache lookup proper; the fingerprint is computed once per request."""
+        started = time.perf_counter()
+        self.requests += 1
+        self.last_fingerprint = fp.text
+        key = (fp.text, self.algorithm, self.mode)
+        entry = self._rewrite_cache.get(key)
+        if entry is not None:
+            self.last_cache_hit = True
+            result = self._result_from_entry(entry, query, fp)
+        else:
+            self.last_cache_hit = False
+            result = self._rewrite_uncached(query)
+            self._rewrite_cache.put(key, self._entry_from_result(result, fp))
+        result.elapsed = time.perf_counter() - started
+        return result
+
+    def _candidate_filter(self, query: ConjunctiveQuery):
+        if self._index is None:
+            return None
+        # The exhaustive search needs whole-body homomorphisms, so the
+        # stronger "cover" pruning is sound there; bucket/minicon cover
+        # subgoals individually and get "overlap".
+        mode = "cover" if self.algorithm == "exhaustive" else "overlap"
+        return self._index.make_filter(query, mode)
+
+    def _rewrite_uncached(self, query: ConjunctiveQuery) -> RewritingResult:
+        return rewrite(
+            query,
+            self._views,
+            algorithm=self.algorithm,
+            mode=self.mode,
+            candidate_filter=self._candidate_filter(query),
+        )
+
+    def _entry_from_result(
+        self, result: RewritingResult, fp: QueryFingerprint
+    ) -> _CacheEntry:
+        canonical_names = frozenset(term.name for term in fp.renaming.values())
+        cached = tuple(
+            _CachedRewriting(
+                query=_retarget(r.query, fp.renaming, canonical_names),
+                kind=r.kind,
+                algorithm=r.algorithm,
+                views_used=r.views_used,
+                expansion=_retarget(r.expansion, fp.renaming, canonical_names),
+            )
+            for r in result.rewritings
+        )
+        return _CacheEntry(
+            algorithm=result.algorithm,
+            rewritings=cached,
+            candidates_examined=result.candidates_examined,
+        )
+
+    def _result_from_entry(
+        self, entry: _CacheEntry, query: ConjunctiveQuery, fp: QueryFingerprint
+    ) -> RewritingResult:
+        mapping_key = tuple(
+            sorted((canonical.name, var.name) for var, canonical in fp.renaming.items())
+        )
+        translation_key = (fp.text, self.algorithm, self.mode, mapping_key)
+        rewritings: Optional[Tuple[Rewriting, ...]] = self._translation_cache.get(
+            translation_key
+        )
+        if rewritings is None:
+            inverse = fp.inverse_renaming()
+            target_names = frozenset(v.name for v in query.variables())
+            rewritings = tuple(
+                Rewriting(
+                    query=_retarget(cached.query, inverse, target_names),
+                    kind=cached.kind,
+                    algorithm=cached.algorithm,
+                    views_used=cached.views_used,
+                    expansion=_retarget(cached.expansion, inverse, target_names),
+                )
+                for cached in entry.rewritings
+            )
+            self._translation_cache.put(translation_key, rewritings)
+        return RewritingResult(
+            query=query,
+            views=self._views,
+            algorithm=entry.algorithm,
+            rewritings=list(rewritings),
+            candidates_examined=entry.candidates_examined,
+        )
+
+    # -- answering ---------------------------------------------------------------
+    def answer(self, query: ConjunctiveQuery) -> FrozenSet[Tuple[Any, ...]]:
+        """Answer ``query`` over the session database, preferring view plans.
+
+        An equivalent rewriting (when one exists) is evaluated over the
+        materialized view instance; a partial rewriting over views plus base
+        relations; otherwise the query is evaluated directly.  Either way the
+        result equals direct evaluation of the query — rewritings are only
+        used when their kind guarantees equivalence.
+        """
+        self._require_database()
+        fp = fingerprint(query)
+        self.last_fingerprint = fp.text
+        key = (fp.text, self.algorithm, self.mode)
+        cached = self._answer_cache.get(key)
+        if cached is not None:
+            self.last_cache_hit = True
+            return cached
+        result = self._rewrite_with_fp(query, fp)
+        answers = self._evaluate_plan(query, result)
+        self.last_cache_hit = False
+        self._answer_cache.put(key, answers)
+        return answers
+
+    def answer_with_plan(
+        self, query: ConjunctiveQuery
+    ) -> Tuple[FrozenSet[Tuple[Any, ...]], RewritingResult]:
+        """Answers plus the rewriting result that produced (or would produce) them.
+
+        One fingerprint computation and one rewrite-cache lookup serve both —
+        the call front ends use when they need the plan *and* the rows, so a
+        served query is accounted once, not twice.  ``last_cache_hit`` reports
+        the rewrite-cache outcome.
+        """
+        self._require_database()
+        fp = fingerprint(query)
+        result = self._rewrite_with_fp(query, fp)
+        rewrite_hit = self.last_cache_hit
+        key = (fp.text, self.algorithm, self.mode)
+        answers = self._answer_cache.get(key)
+        if answers is None:
+            answers = self._evaluate_plan(query, result)
+            self._answer_cache.put(key, answers)
+        self.last_cache_hit = rewrite_hit
+        return answers, result
+
+    def _require_database(self) -> None:
+        if self._database is None:
+            raise RewritingError("this session has no database; pass one to answer queries")
+        self._refresh_database_version()
+
+    def _evaluate_plan(
+        self, query: ConjunctiveQuery, result: RewritingResult
+    ) -> FrozenSet[Tuple[Any, ...]]:
+        assert self._database is not None
+        best = result.best
+        if best is not None and best.kind is RewritingKind.EQUIVALENT:
+            return evaluate(best.query, self._materialized_instance())
+        if best is not None and best.kind is RewritingKind.PARTIAL:
+            merged = self._materialized_instance().merge(self._database)
+            return evaluate(best.query, merged)
+        return evaluate(query, self._database)
+
+    def _refresh_database_version(self) -> None:
+        assert self._database is not None
+        version = self._database.version
+        if version != self._db_version:
+            self._db_version = version
+            self._materialized = None
+            self._answer_cache.clear()
+            self.invalidations += 1
+
+    def _materialized_instance(self) -> Database:
+        assert self._database is not None
+        if self._materialized is None:
+            self._materialized = materialize_views(self._views, self._database)
+        return self._materialized
+
+    # -- containment --------------------------------------------------------------
+    def contained_cached(self, left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
+        """Cached ``left ⊑ right`` (sound: containment is renaming-invariant)."""
+        key = (fingerprint(left).text, fingerprint(right).text)
+        verdict = self._containment_cache.get(key)
+        if verdict is None:
+            verdict = is_contained(left, right)
+            self._containment_cache.put(key, verdict)
+        return verdict
+
+    # -- introspection -------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """A machine-readable snapshot of the session's state and cache health."""
+        return {
+            "algorithm": self.algorithm,
+            "mode": self.mode,
+            "requests": self.requests,
+            "invalidations": self.invalidations,
+            "views": len(self._views),
+            "views_token": self._views_token,
+            "database_version": self._db_version,
+            "materialized": self._materialized is not None,
+            "rewrite_cache": self._rewrite_cache.stats(),
+            "translation_cache": self._translation_cache.stats(),
+            "answer_cache": self._answer_cache.stats(),
+            "containment_cache": self._containment_cache.stats(),
+            "view_index": self._index.stats() if self._index is not None else None,
+        }

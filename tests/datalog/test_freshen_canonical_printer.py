@@ -6,6 +6,7 @@ from repro.datalog.atoms import Atom, Comparison
 from repro.datalog.canonical import (
     canonical_database,
     freeze_query,
+    freeze_variable,
     freezing_substitution,
     is_frozen_constant,
     unfreeze_atom,
@@ -39,6 +40,32 @@ class TestFreshVariableFactory:
         factory = FreshVariableFactory()
         names = [factory.fresh().name for _ in range(100)]
         assert len(set(names)) == 100
+
+    def test_empty_reserved_fast_path_stays_collision_free(self):
+        # With nothing reserved, plain generation takes the O(1) fast path
+        # (counter names are not recorded); hints must still never collide
+        # with names the counter already issued.
+        factory = FreshVariableFactory()
+        plain = factory.fresh()
+        assert plain.name == "_F1"
+        hinted = factory.fresh("_F1")
+        assert hinted.name != "_F1"
+        # ... and reserving later keeps the plain loop collision-free too.
+        factory.reserve(["_F3"])
+        produced = {factory.fresh().name for _ in range(5)}
+        assert "_F3" not in produced
+        assert "_F1" not in produced
+
+    def test_hint_matching_counter_pattern_with_leading_zero_is_free(self):
+        factory = FreshVariableFactory()
+        factory.fresh()  # issues _F1
+        assert factory.fresh("_F01").name == "_F01"  # distinct from _F1
+
+    def test_interleaved_hints_and_plain_generation(self):
+        factory = FreshVariableFactory()
+        names = [factory.fresh("X").name, factory.fresh().name,
+                 factory.fresh("X").name, factory.fresh().name]
+        assert len(set(names)) == 4
 
 
 class TestRenameApart:
@@ -86,6 +113,32 @@ class TestCanonicalDatabase:
         assert is_frozen_constant(frozen.args[0])
         assert unfreeze_atom(frozen) == query.body[0]
         assert unfreeze_term(Constant(3)) == Constant(3)
+
+
+class TestFreezeVariableEscaping:
+    """Regression: ``:`` in a tag or variable name must not collapse pairs."""
+
+    def test_distinct_tag_name_pairs_freeze_distinctly(self):
+        # Before escaping, both pairs froze to "@frozen:a:b:c".
+        left = freeze_variable(Variable("c"), tag="a:b")
+        right = freeze_variable(Variable("b:c"), tag="a")
+        assert left != right
+
+    def test_colon_in_name_without_tag(self):
+        plain = freeze_variable(Variable("x:y"))
+        tagged_lookalike = freeze_variable(Variable("y"), tag="x")
+        assert plain != tagged_lookalike
+
+    def test_unfreeze_round_trips_escaped_names(self):
+        for name, tag in [("X", ""), ("X", "t1"), ("x:y", ""), ("x:y", "a:b"),
+                          ("p%q", "r:s"), ("%3A", ":")]:
+            frozen = freeze_variable(Variable(name), tag=tag)
+            assert is_frozen_constant(frozen)
+            assert unfreeze_term(frozen) == Variable(name)
+
+    def test_plain_names_keep_legacy_format(self):
+        assert freeze_variable(Variable("X")).value == "@frozen:X"
+        assert freeze_variable(Variable("X"), tag="q1").value == "@frozen:q1:X"
 
 
 class TestPrinter:

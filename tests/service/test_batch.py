@@ -1,0 +1,86 @@
+"""Tests for the batch API (sequential and multiprocessing paths)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.datalog.parser import parse_query, parse_views
+from repro.engine.database import Database
+from repro.service.batch import BatchReport, run_batch
+
+VIEWS = parse_views(
+    """
+    v_rs(A, B) :- r(A, C), s(C, B).
+    v_r(A, B) :- r(A, B).
+    v_s(A, B) :- s(A, B).
+    """
+)
+
+QUERY_TEXT = "q(X, Z) :- r(X, Y), s(Y, Z)."
+ISOMORPH_TEXT = "q(A, B) :- s(C, B), r(A, C)."
+
+
+def make_db():
+    return Database.from_dict({"r": [(1, 2), (3, 4)], "s": [(2, 5), (4, 6)]})
+
+
+class TestSequentialBatch:
+    def test_repeated_queries_hit_cache(self):
+        report = run_batch([QUERY_TEXT, QUERY_TEXT, ISOMORPH_TEXT], VIEWS)
+        assert report.requests == 3
+        assert report.cache_hits == 2
+        assert report.errors == 0
+        assert report.items[0].equivalent
+        assert report.items[0].best is not None
+        assert report.throughput > 0
+
+    def test_accepts_query_objects(self):
+        report = run_batch([parse_query(QUERY_TEXT)], VIEWS)
+        assert report.requests == 1
+        assert report.items[0].fingerprint
+
+    def test_answers(self):
+        report = run_batch(
+            [QUERY_TEXT], VIEWS, database=make_db(), with_answers=True
+        )
+        assert report.items[0].answers == 2
+
+    def test_answers_require_database(self):
+        with pytest.raises(ReproError):
+            run_batch([QUERY_TEXT], VIEWS, with_answers=True)
+
+    def test_parse_errors_are_reported_not_raised(self):
+        report = run_batch(["not a query"], VIEWS)
+        assert report.errors == 1
+        assert report.items[0].error is not None
+
+    def test_report_dict_roundtrip(self):
+        report = run_batch([QUERY_TEXT, QUERY_TEXT], VIEWS)
+        data = report.to_dict()
+        assert data["requests"] == 2
+        assert data["cache_hits"] == 1
+        assert len(data["items"]) == 2
+        assert data["session_stats"] is not None
+
+
+class TestParallelBatch:
+    def test_fanout_produces_same_outcomes(self):
+        queries = [QUERY_TEXT, ISOMORPH_TEXT] * 3
+        sequential = run_batch(queries, VIEWS, processes=1)
+        parallel = run_batch(queries, VIEWS, processes=2)
+        assert parallel.requests == sequential.requests
+        assert parallel.errors == 0
+        assert [i.index for i in parallel.items] == list(range(len(queries)))
+        assert [i.equivalent for i in parallel.items] == [
+            i.equivalent for i in sequential.items
+        ]
+        assert {i.fingerprint for i in parallel.items} == {
+            i.fingerprint for i in sequential.items
+        }
+
+    def test_fanout_with_answers(self):
+        report = run_batch(
+            [QUERY_TEXT, ISOMORPH_TEXT], VIEWS,
+            database=make_db(), with_answers=True, processes=2,
+        )
+        assert report.errors == 0
+        assert [item.answers for item in report.items] == [2, 2]

@@ -1,0 +1,131 @@
+"""Tests for the LRU cache and the version counters it keys on."""
+
+import pytest
+
+from repro.datalog.parser import parse_views
+from repro.datalog.views import ViewSet
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.service.cache import LRUCache
+
+
+class TestLRUCache:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", 42) == 42
+
+    def test_eviction_order_is_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a"; "b" is now LRU
+        cache.put("c", 3)       # evicts "b"
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_update_refreshes_recency(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)      # "b" becomes LRU
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_zero_size_disables_caching(self):
+        cache = LRUCache(maxsize=0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_counters_and_stats(self):
+        cache = LRUCache(maxsize=8)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["size"] == 1
+
+    def test_clear_keeps_counters(self):
+        cache = LRUCache(maxsize=8)
+        cache.put("a", 1)
+        cache.get("a")
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_discard(self):
+        cache = LRUCache(maxsize=8)
+        cache.put("a", 1)
+        assert cache.discard("a") is True
+        assert cache.discard("a") is False
+
+    def test_cached_none_like_values_are_hits(self):
+        cache = LRUCache(maxsize=8)
+        cache.put("empty", frozenset())
+        assert cache.get("empty") == frozenset()
+        assert cache.hits == 1
+
+
+class TestDatabaseVersion:
+    def test_new_database_starts_at_zero(self):
+        assert Database().version == 0
+
+    def test_add_fact_bumps_version(self):
+        db = Database()
+        before = db.version
+        db.add_fact("r", (1, 2))
+        assert db.version > before
+
+    def test_duplicate_fact_does_not_bump(self):
+        db = Database()
+        db.add_fact("r", (1, 2))
+        before = db.version
+        db.add_fact("r", (1, 2))
+        assert db.version == before
+
+    def test_add_and_remove_relation_bump(self):
+        db = Database()
+        db.add_relation(Relation("r", 2, [(1, 2)]))
+        v1 = db.version
+        db.remove_relation("r")
+        assert db.version > v1
+        # Removing an absent relation is a no-op.
+        v2 = db.version
+        db.remove_relation("nope")
+        assert db.version == v2
+
+    def test_ensure_relation_bumps_only_on_create(self):
+        db = Database()
+        db.ensure_relation("r", 2)
+        v1 = db.version
+        db.ensure_relation("r", 2)
+        assert db.version == v1
+
+
+class TestViewSetToken:
+    def test_equal_contents_equal_token(self):
+        views_a = parse_views("v(A, B) :- r(A, B).")
+        views_b = parse_views("v(A, B) :- r(A, B).")
+        assert views_a.version_token() == views_b.version_token()
+
+    def test_different_contents_different_token(self):
+        views_a = parse_views("v(A, B) :- r(A, B).")
+        views_b = parse_views("v(A, B) :- s(A, B).")
+        assert views_a.version_token() != views_b.version_token()
+
+    def test_add_changes_token(self):
+        views = parse_views("v(A, B) :- r(A, B).")
+        extended = views.add(parse_views("w(A) :- t(A, A).")["w"])
+        assert views.version_token() != extended.version_token()
+
+    def test_token_is_stable(self):
+        views = parse_views("v(A, B) :- r(A, B).")
+        assert views.version_token() == views.version_token()

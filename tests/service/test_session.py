@@ -1,0 +1,248 @@
+"""Tests for the RewritingSession facade."""
+
+import pytest
+
+from repro.errors import RewritingError
+from repro.datalog.parser import parse_query, parse_views
+from repro.engine.database import Database
+from repro.engine.evaluate import evaluate
+from repro.rewriting.rewriter import rewrite
+from repro.service.session import RewritingSession
+
+VIEWS = parse_views(
+    """
+    v_rs(A, B) :- r(A, C), s(C, B).
+    v_r(A, B) :- r(A, B).
+    v_s(A, B) :- s(A, B).
+    """
+)
+
+QUERY = parse_query("q(X, Z) :- r(X, Y), s(Y, Z).")
+ISOMORPH = parse_query("q(A, B) :- s(C, B), r(A, C).")
+
+
+def make_db():
+    return Database.from_dict({"r": [(1, 2), (3, 4)], "s": [(2, 5), (4, 6)]})
+
+
+class TestRewriteCached:
+    def test_miss_then_hit_byte_identical(self):
+        session = RewritingSession(VIEWS)
+        first = session.rewrite_cached(QUERY)
+        assert session.last_cache_hit is False
+        second = session.rewrite_cached(QUERY)
+        assert session.last_cache_hit is True
+        assert [str(r.query) for r in first.rewritings] == [
+            str(r.query) for r in second.rewritings
+        ]
+        assert [str(r.expansion) for r in first.rewritings] == [
+            str(r.expansion) for r in second.rewritings
+        ]
+
+    def test_miss_matches_uncached_rewrite(self):
+        session = RewritingSession(VIEWS)
+        cached = session.rewrite_cached(QUERY)
+        uncached = rewrite(QUERY, VIEWS, algorithm="minicon")
+        assert [str(r.query) for r in cached.rewritings] == [
+            str(r.query) for r in uncached.rewritings
+        ]
+        assert cached.candidates_examined == uncached.candidates_examined
+
+    def test_isomorphic_query_hits_and_is_renamed(self):
+        session = RewritingSession(VIEWS)
+        session.rewrite_cached(QUERY)
+        result = session.rewrite_cached(ISOMORPH)
+        assert session.last_cache_hit is True
+        # The returned plan is in the *incoming* query's variables.
+        assert str(result.best.query) == "q(A, B) :- v_rs(A, B)."
+        assert result.query is ISOMORPH
+
+    def test_isomorphic_hit_equals_uncached_result(self):
+        session = RewritingSession(VIEWS)
+        session.rewrite_cached(QUERY)
+        cached = session.rewrite_cached(ISOMORPH)
+        uncached = rewrite(ISOMORPH, VIEWS, algorithm="minicon")
+        assert sorted(str(r.query.canonical()) for r in cached.rewritings) == sorted(
+            str(r.query.canonical()) for r in uncached.rewritings
+        )
+
+    def test_different_mode_sessions_do_not_share(self):
+        contained = RewritingSession(VIEWS, mode="contained")
+        result = contained.rewrite_cached(QUERY)
+        assert contained.last_cache_hit is False
+        assert len(result.rewritings) >= 1
+
+    def test_translation_cache_reuses_work(self):
+        session = RewritingSession(VIEWS)
+        session.rewrite_cached(QUERY)
+        session.rewrite_cached(QUERY)
+        session.rewrite_cached(QUERY)
+        stats = session.stats()
+        assert stats["translation_cache"]["hits"] >= 1
+
+    def test_bad_algorithm_rejected(self):
+        with pytest.raises(RewritingError):
+            RewritingSession(VIEWS, algorithm="nope")
+        with pytest.raises(RewritingError):
+            RewritingSession(VIEWS, mode="nope")
+
+
+class TestAnswer:
+    def test_answers_match_direct_evaluation(self):
+        db = make_db()
+        session = RewritingSession(VIEWS, database=db)
+        assert session.answer(QUERY) == evaluate(QUERY, db)
+
+    def test_answer_cache_hit(self):
+        session = RewritingSession(VIEWS, database=make_db())
+        first = session.answer(QUERY)
+        second = session.answer(QUERY)
+        assert session.last_cache_hit is True
+        assert first == second
+
+    def test_isomorphic_queries_share_answers(self):
+        db = make_db()
+        session = RewritingSession(VIEWS, database=db)
+        session.answer(QUERY)
+        assert session.answer(ISOMORPH) == evaluate(ISOMORPH, db)
+        assert session.last_cache_hit is True
+
+    def test_database_mutation_invalidates_answers(self):
+        db = make_db()
+        session = RewritingSession(VIEWS, database=db)
+        before = session.answer(QUERY)
+        db.add_fact("r", (7, 8))
+        db.add_fact("s", (8, 9))
+        after = session.answer(QUERY)
+        assert after != before
+        assert (7, 9) in after
+        assert session.invalidations >= 1
+
+    def test_no_database_raises(self):
+        session = RewritingSession(VIEWS)
+        with pytest.raises(RewritingError):
+            session.answer(QUERY)
+        with pytest.raises(RewritingError):
+            session.answer_with_plan(QUERY)
+
+    def test_answer_with_plan_counts_each_query_once(self):
+        db = make_db()
+        session = RewritingSession(VIEWS, database=db)
+        answers, result = session.answer_with_plan(QUERY)
+        assert answers == evaluate(QUERY, db)
+        assert result.best is not None
+        assert session.requests == 1
+        stats = session.stats()["rewrite_cache"]
+        assert (stats["hits"], stats["misses"]) == (0, 1)
+        # A repeat is one request and one rewrite-cache hit.
+        answers2, _ = session.answer_with_plan(QUERY)
+        assert answers2 == answers
+        assert session.last_cache_hit is True
+        assert session.requests == 2
+
+    def test_last_fingerprint_tracks_requests(self):
+        session = RewritingSession(VIEWS)
+        session.rewrite_cached(QUERY)
+        fp_q = session.last_fingerprint
+        session.rewrite_cached(ISOMORPH)
+        assert session.last_fingerprint == fp_q  # isomorphic -> same fingerprint
+
+    def test_unrewritable_query_falls_back_to_direct(self):
+        db = make_db()
+        db.add_fact("u", (1,))
+        session = RewritingSession(VIEWS, database=db)
+        lonely = parse_query("p(X) :- u(X).")
+        assert session.answer(lonely) == evaluate(lonely, db)
+
+
+class TestInvalidation:
+    def test_set_views_clears_rewrite_cache(self):
+        session = RewritingSession(VIEWS)
+        session.rewrite_cached(QUERY)
+        session.set_views(parse_views("v_r(A, B) :- r(A, B)."))
+        session.rewrite_cached(QUERY)
+        assert session.last_cache_hit is False
+
+    def test_set_views_with_equal_contents_keeps_cache(self):
+        session = RewritingSession(VIEWS)
+        session.rewrite_cached(QUERY)
+        same = parse_views(
+            """
+            v_rs(A, B) :- r(A, C), s(C, B).
+            v_r(A, B) :- r(A, B).
+            v_s(A, B) :- s(A, B).
+            """
+        )
+        session.set_views(same)
+        session.rewrite_cached(QUERY)
+        assert session.last_cache_hit is True
+
+    def test_set_database_clears_answers_only(self):
+        session = RewritingSession(VIEWS, database=make_db())
+        session.rewrite_cached(QUERY)
+        session.answer(QUERY)
+        session.set_database(make_db())
+        session.rewrite_cached(QUERY)
+        assert session.last_cache_hit is True  # rewritings survive db swap
+        assert session.stats()["answer_cache"]["size"] == 0
+
+    def test_invalidate_clears_everything(self):
+        session = RewritingSession(VIEWS, database=make_db())
+        session.rewrite_cached(QUERY)
+        session.answer(QUERY)
+        session.invalidate()
+        stats = session.stats()
+        assert stats["rewrite_cache"]["size"] == 0
+        assert stats["answer_cache"]["size"] == 0
+        assert stats["materialized"] is False
+
+
+class TestContainmentCache:
+    def test_verdicts_cached_by_fingerprint_pair(self):
+        session = RewritingSession(VIEWS)
+        q1 = parse_query("q(X) :- r(X, Y).")
+        q2 = parse_query("q(X) :- r(X, Y), r(X, Z).")
+        assert session.contained_cached(q1, q2) is True
+        assert session.contained_cached(q2, q1) is True
+        # An isomorphic variant of q1 is answered from cache.
+        variant = parse_query("q(A) :- r(A, B).")
+        assert session.contained_cached(variant, q2) is True
+        stats = session.stats()["containment_cache"]
+        assert stats["hits"] >= 1
+
+    def test_negative_verdict(self):
+        session = RewritingSession(VIEWS)
+        q1 = parse_query("q(X) :- r(X, Y).")
+        q3 = parse_query("q(X) :- s(X, Y).")
+        assert session.contained_cached(q1, q3) is False
+
+
+class TestStats:
+    def test_stats_shape(self):
+        session = RewritingSession(VIEWS, database=make_db())
+        session.rewrite_cached(QUERY)
+        stats = session.stats()
+        for key in (
+            "algorithm", "mode", "requests", "views", "rewrite_cache",
+            "translation_cache", "answer_cache", "containment_cache", "view_index",
+        ):
+            assert key in stats
+        assert stats["requests"] == 1
+        assert stats["view_index"]["queries_filtered"] == 1
+
+    def test_view_index_disabled(self):
+        session = RewritingSession(VIEWS, use_view_index=False)
+        session.rewrite_cached(QUERY)
+        assert session.stats()["view_index"] is None
+
+
+class TestLRUBoundOnSession:
+    def test_eviction_under_tiny_cache(self):
+        session = RewritingSession(VIEWS, cache_size=1)
+        q1 = parse_query("q(X, Z) :- r(X, Y), s(Y, Z).")
+        q2 = parse_query("p(X, Y) :- r(X, Y).")
+        session.rewrite_cached(q1)
+        session.rewrite_cached(q2)   # evicts q1's entry
+        session.rewrite_cached(q1)
+        assert session.last_cache_hit is False
+        assert session.stats()["rewrite_cache"]["evictions"] >= 1

@@ -133,3 +133,105 @@ class TestExperimentsCommand:
         for identifier in ("E1", "E5", "E10"):
             assert identifier in output
         assert "bench_e4_chain_views" in output
+
+
+class TestServeCommand:
+    def test_serves_queries_from_file(self, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(
+            "# a comment\n"
+            "q(X, Z) :- r(X, Y), s(Y, Z).\n"
+            "q(A, B) :- s(C, B), r(A, C).\n"
+            ":stats\n"
+        )
+        code, output = run_cli(
+            ["serve", "--views", VIEWS, "--input", str(queries)]
+        )
+        assert code == 0
+        assert "[miss]" in output
+        assert "[hit ]" in output
+        assert "# served 2 queries" in output
+        assert "# cache: 1 hits / 1 misses" in output
+
+    def test_serve_with_answers(self, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("q(X, Z) :- r(X, Y), s(Y, Z).\n")
+        code, output = run_cli(
+            [
+                "serve", "--views", VIEWS, "--database", DATABASE,
+                "--input", str(queries), "--answers",
+            ]
+        )
+        assert code == 0
+        assert "1\t5" in output
+        assert "# 2 answers" in output
+
+    def test_serve_survives_per_query_rewriting_errors(self, tmp_path):
+        # inverse-rules rejects views with comparisons per query; the server
+        # must report the error and keep serving, not exit through main().
+        queries = tmp_path / "queries.txt"
+        queries.write_text("q(X) :- r(X, Y).\n")
+        code, output = run_cli(
+            [
+                "serve", "--algorithm", "inverse-rules",
+                "--views", "v(X) :- r(X, Y), Y > 2.",
+                "--input", str(queries),
+            ]
+        )
+        assert code == 0
+        assert "error:" in output
+        assert "# served 0 queries" in output
+
+    def test_serve_answers_count_each_query_once(self, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("q(X, Z) :- r(X, Y), s(Y, Z).\np(A, B) :- r(A, B).\n")
+        code, output = run_cli(
+            [
+                "serve", "--views", VIEWS, "--database", DATABASE,
+                "--input", str(queries), "--answers",
+            ]
+        )
+        assert code == 0
+        # Two distinct queries: two misses, no phantom hits from answer().
+        assert "# cache: 0 hits / 2 misses" in output
+
+    def test_serve_reports_parse_errors_and_continues(self, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("not a query\nq(X, Z) :- r(X, Y), s(Y, Z).\n:quit\nq(X, Z) :- r(X, Y), s(Y, Z).\n")
+        code, output = run_cli(["serve", "--views", VIEWS, "--input", str(queries)])
+        assert code == 0
+        assert "error:" in output
+        assert "# served 1 queries" in output  # :quit stopped the stream
+
+
+class TestBatchCommand:
+    def test_batch_reports_hits_and_throughput(self, tmp_path):
+        workload = tmp_path / "workload.dl"
+        workload.write_text(
+            "q(X, Z) :- r(X, Y), s(Y, Z).\n"
+            "q(A, B) :- s(C, B), r(A, C).\n"
+        )
+        code, output = run_cli(
+            ["batch", "--queries", str(workload), "--views", VIEWS]
+        )
+        assert code == 0
+        assert "[miss]" in output
+        assert "[hit ]" in output
+        assert "2 queries, 1 cache hits, 0 errors" in output
+
+    def test_batch_json_report(self, tmp_path):
+        import json
+
+        workload = tmp_path / "workload.dl"
+        workload.write_text("q(X, Z) :- r(X, Y), s(Y, Z).\n")
+        report_path = tmp_path / "report.json"
+        code, output = run_cli(
+            [
+                "batch", "--queries", str(workload), "--views", VIEWS,
+                "--database", DATABASE, "--answers", "--json", str(report_path),
+            ]
+        )
+        assert code == 0
+        data = json.loads(report_path.read_text())
+        assert data["requests"] == 1
+        assert data["items"][0]["answers"] == 2
