@@ -20,6 +20,7 @@ True
 
 from repro.errors import (
     EvaluationError,
+    MaterializationError,
     ParseError,
     QueryConstructionError,
     ReproError,
@@ -87,6 +88,13 @@ from repro.rewriting import (
     view_is_usable,
     view_is_useful,
 )
+from repro.materialize import (
+    ChangeLog,
+    Delta,
+    MaterializedViewStore,
+    ViewChange,
+    parse_delta,
+)
 from repro.service import (
     BatchReport,
     LRUCache,
@@ -103,17 +111,21 @@ __all__ = [
     "Atom",
     "BatchReport",
     "BucketRewriter",
+    "ChangeLog",
     "Comparison",
     "ComparisonOperator",
     "ConjunctiveQuery",
     "Constant",
     "Database",
     "DatalogProgram",
+    "Delta",
     "EvaluationError",
     "ExhaustiveRewriter",
     "FunctionTerm",
     "InverseRulesRewriter",
     "LRUCache",
+    "MaterializationError",
+    "MaterializedViewStore",
     "MiniConRewriter",
     "OptimizationResult",
     "ParseError",
@@ -133,6 +145,7 @@ __all__ = [
     "UnsupportedFeatureError",
     "Variable",
     "View",
+    "ViewChange",
     "ViewRelevanceIndex",
     "ViewSet",
     "certain_answers",
@@ -155,6 +168,7 @@ __all__ = [
     "minimize",
     "parse_atom",
     "parse_database",
+    "parse_delta",
     "parse_program",
     "parse_query",
     "parse_view",

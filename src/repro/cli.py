@@ -10,6 +10,11 @@ without writing Python:
     facts.
 ``python -m repro certain``
     Compute certain answers from materialized view instances.
+``python -m repro materialize``
+    Materialize views over a database and print (or save) their extents.
+``python -m repro apply-delta``
+    Apply a ``+ fact.`` / ``- fact.`` delta to a database, maintain the view
+    extents incrementally, and report what changed.
 ``python -m repro serve``
     Run a long-lived rewriting session that reads queries line by line and
     serves them through the fingerprint cache.
@@ -17,7 +22,7 @@ without writing Python:
     Process a file of workload queries through one session, optionally with
     multiprocessing fan-out, and report per-query results and throughput.
 ``python -m repro experiments``
-    List the reproduced experiments (E1..E11) and the bench that regenerates
+    List the reproduced experiments (E1..E12) and the bench that regenerates
     each.
 
 Queries and views are given inline or in files, in the datalog syntax of
@@ -36,6 +41,9 @@ from repro.datalog.parser import parse_database, parse_program, parse_query, par
 from repro.engine.database import Database
 from repro.engine.evaluate import evaluate, materialize_views
 from repro.experiments.registry import all_experiments
+from repro.materialize.compare import verify_extents
+from repro.materialize.delta import parse_delta
+from repro.materialize.store import MaterializedViewStore
 from repro.rewriting.certain import certain_answers
 from repro.rewriting.rewriter import ALGORITHMS, MODES, rewrite
 from repro.service.batch import run_batch
@@ -102,6 +110,64 @@ def _command_certain(args: argparse.Namespace, out) -> int:
     for row in sorted(answers, key=repr):
         print("\t".join(str(value) for value in row), file=out)
     print(f"# {len(answers)} certain answers ({args.method})", file=out)
+    return 0
+
+
+def _command_materialize(args: argparse.Namespace, out) -> int:
+    views = parse_views(_read_text(args.views))
+    database = _load_database(args.database)
+    store = MaterializedViewStore(views, database)
+    wanted = set(args.view) if args.view else None
+    for view in views:
+        if wanted is not None and view.name not in wanted:
+            continue
+        rows = store.extent(view.name)
+        print(f"-- {view.name}/{view.arity}: {len(rows)} rows", file=out)
+        if not args.sizes_only:
+            for row in sorted(rows, key=repr):
+                print("\t".join(str(value) for value in row), file=out)
+    stats = store.stats()
+    print(
+        f"# materialized {stats['views']} views, {stats['extent_rows']} extent rows, "
+        f"{stats['tracked_derivations']} derivations tracked",
+        file=out,
+    )
+    return 0
+
+
+def _command_apply_delta(args: argparse.Namespace, out) -> int:
+    views = parse_views(_read_text(args.views))
+    database = _load_database(args.database)
+    store = MaterializedViewStore(views, database)
+    delta = parse_delta(_read_text(args.delta))
+    log = store.apply_delta(delta)
+    print(f"# delta: {delta.size()} requested, {log.delta.size()} effective", file=out)
+    for name in sorted(log.base_predicates):
+        print(
+            f"  base {name}: +{len(log.delta.inserted_rows(name))} "
+            f"-{len(log.delta.removed_rows(name))}",
+            file=out,
+        )
+    for change in log.view_changes:
+        marker = "*" if change.changed else " "
+        print(
+            f"  view {marker}{change.view}: +{len(change.inserted)} "
+            f"-{len(change.removed)} [{change.strategy}]",
+            file=out,
+        )
+    if args.show_extents:
+        for view in views:
+            rows = store.extent(view.name)
+            print(f"-- {view.name}/{view.arity}: {len(rows)} rows", file=out)
+            for row in sorted(rows, key=repr):
+                print("\t".join(str(value) for value in row), file=out)
+    if args.verify:
+        mismatches = verify_extents(store)
+        if mismatches:
+            for mismatch in mismatches:
+                print(f"MISMATCH {mismatch}", file=out)
+            return 1
+        print("# verified: maintained extents equal full recomputation", file=out)
     return 0
 
 
@@ -256,6 +322,37 @@ def build_parser() -> argparse.ArgumentParser:
         default="inverse-rules",
     )
     certain_parser.set_defaults(handler=_command_certain)
+
+    materialize_parser = subparsers.add_parser(
+        "materialize", help="materialize views over a database and print their extents"
+    )
+    materialize_parser.add_argument("--views", required=True, help="view definitions text or file")
+    materialize_parser.add_argument("--database", required=True, help="facts text or file")
+    materialize_parser.add_argument(
+        "--view", action="append", help="only show these views (repeatable)"
+    )
+    materialize_parser.add_argument(
+        "--sizes-only", action="store_true", help="print extent sizes without the rows"
+    )
+    materialize_parser.set_defaults(handler=_command_materialize)
+
+    delta_parser = subparsers.add_parser(
+        "apply-delta",
+        help="apply a '+ fact.' / '- fact.' delta and maintain views incrementally",
+    )
+    delta_parser.add_argument("--views", required=True, help="view definitions text or file")
+    delta_parser.add_argument("--database", required=True, help="facts text or file")
+    delta_parser.add_argument(
+        "--delta", required=True, help="delta text or file (lines of '+ fact.' / '- fact.')"
+    )
+    delta_parser.add_argument(
+        "--show-extents", action="store_true", help="print the maintained extents after applying"
+    )
+    delta_parser.add_argument(
+        "--verify", action="store_true",
+        help="cross-check maintained extents against full recomputation",
+    )
+    delta_parser.set_defaults(handler=_command_apply_delta)
 
     serve_parser = subparsers.add_parser(
         "serve", help="serve queries line by line through a caching session"

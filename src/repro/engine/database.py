@@ -83,6 +83,53 @@ class Database:
             raise SchemaError(f"cannot insert non-ground atom {atom} as a fact")
         return self.add_fact(atom.predicate, tuple(term_to_value(t) for t in atom.args))
 
+    def remove_fact(self, relation_name: str, row: Sequence[Any]) -> bool:
+        """Delete a tuple from a relation; returns True if it was present.
+
+        This is the deletion counterpart of :meth:`add_fact`: it routes the
+        mutation through the database so the version counter observes it.
+        Calling :meth:`Relation.discard` directly on a relation obtained from
+        the database bypasses the counter and can leave stale cache entries
+        alive — always delete through here (or :meth:`apply_delta`).
+        """
+        relation = self._relations.get(relation_name)
+        if relation is None:
+            return False
+        removed = relation.discard(tuple(row))
+        if removed:
+            self._version += 1
+        return removed
+
+    def remove_atom(self, atom: Atom) -> bool:
+        """Delete a ground atom; returns True if it was present."""
+        if not atom.is_ground():
+            raise SchemaError(f"cannot delete non-ground atom {atom}")
+        return self.remove_fact(atom.predicate, tuple(term_to_value(t) for t in atom.args))
+
+    def apply_delta(self, delta: "Delta") -> "Delta":
+        """Apply a batch of insertions and deletions; returns the effective delta.
+
+        Deletions are applied before insertions (the staging the incremental
+        view-maintenance rules assume).  The returned delta contains only the
+        rows that actually changed the database — deletions of absent rows and
+        insertions of present rows are dropped — so callers can scope cache
+        invalidation and view maintenance to real changes.  The version
+        counter observes every applied change.
+        """
+        from repro.materialize.delta import Delta  # local import to avoid a cycle
+
+        removed: Dict[str, Set[Tuple[Any, ...]]] = {}
+        inserted: Dict[str, Set[Tuple[Any, ...]]] = {}
+        for name, rows in delta.removed.items():
+            for row in rows:
+                if self.remove_fact(name, row):
+                    removed.setdefault(name, set()).add(tuple(row))
+        for name, rows in delta.inserted.items():
+            for row in rows:
+                if self.add_fact(name, row):
+                    inserted.setdefault(name, set()).add(tuple(row))
+        return Delta(inserted=inserted, removed=removed)
+
     def add_relation(self, relation: Relation) -> None:
         """Add (or replace) an entire relation."""
         self._relations[relation.name] = relation.copy()

@@ -49,23 +49,19 @@ class EvaluationStatistics:
         return self.probes + self.extensions
 
 
-class _IndexCache:
-    """Per-evaluation cache of hash indexes on (relation, bound positions)."""
+def _candidate_rows(
+    relation: Relation, positions: Tuple[int, ...], key: Tuple[Any, ...]
+) -> Sequence[Tuple[Any, ...]]:
+    """Candidate tuples matching ``key`` on ``positions``.
 
-    def __init__(self) -> None:
-        self._indexes: Dict[Tuple[str, Tuple[int, ...]], Dict[Tuple[Any, ...], List[Tuple[Any, ...]]]] = {}
-
-    def lookup(
-        self, relation: Relation, positions: Tuple[int, ...], key: Tuple[Any, ...]
-    ) -> List[Tuple[Any, ...]]:
-        if not positions:
-            return list(relation.tuples())
-        cache_key = (relation.name, positions)
-        index = self._indexes.get(cache_key)
-        if index is None:
-            index = relation.index_on(positions)
-            self._indexes[cache_key] = index
-        return index.get(key, [])
+    Relations maintain their per-position hash indexes incrementally (see
+    :meth:`Relation.index_on`), so this is a dictionary lookup — there is no
+    per-evaluation index build any more, and indexes survive across
+    evaluations and small data deltas.
+    """
+    if not positions:
+        return tuple(relation)
+    return relation.index_on(positions).get(key, ())
 
 
 Binding = Dict[Variable, Any]
@@ -153,7 +149,6 @@ def evaluate_substitutions(
     ordered = _order_subgoals(query, database)
     stats.subgoals += len(ordered)
     comparisons = list(query.comparisons)
-    cache = _IndexCache()
 
     # Boolean query with empty body: the head must be ground and always holds.
     if not ordered:
@@ -188,7 +183,7 @@ def evaluate_substitutions(
             if ok:
                 bound_positions.append(index)
                 bound_values.append(value)
-        candidates = cache.lookup(relation, tuple(bound_positions), tuple(bound_values))
+        candidates = _candidate_rows(relation, tuple(bound_positions), tuple(bound_values))
         for row in candidates:
             stats.probes += 1
             new_binding = dict(binding)

@@ -55,7 +55,7 @@ class Relation:
     :class:`SkolemValue`), not term objects, which keeps joins cheap.
     """
 
-    __slots__ = ("name", "arity", "_tuples")
+    __slots__ = ("name", "arity", "_tuples", "_indexes")
 
     def __init__(self, name: str, arity: int, tuples: Iterable[Tuple[Any, ...]] = ()):
         if arity < 0:
@@ -63,6 +63,11 @@ class Relation:
         self.name = name
         self.arity = arity
         self._tuples: Set[Tuple[Any, ...]] = set()
+        # Lazily-built hash indexes keyed by column positions, maintained
+        # incrementally by add/discard so deltas never force a rebuild.
+        self._indexes: Dict[
+            Tuple[int, ...], Dict[Tuple[Any, ...], List[Tuple[Any, ...]]]
+        ] = {}
         for row in tuples:
             self.add(row)
 
@@ -74,9 +79,12 @@ class Relation:
             raise SchemaError(
                 f"relation {self.name} has arity {self.arity}, got tuple of length {len(tup)}"
             )
-        before = len(self._tuples)
+        if tup in self._tuples:
+            return False
         self._tuples.add(tup)
-        return len(self._tuples) != before
+        for positions, index in self._indexes.items():
+            index.setdefault(tuple(tup[p] for p in positions), []).append(tup)
+        return True
 
     def add_all(self, rows: Iterable[Sequence[Any]]) -> int:
         """Insert many tuples; returns the number of new tuples."""
@@ -86,8 +94,30 @@ class Relation:
                 added += 1
         return added
 
-    def discard(self, row: Sequence[Any]) -> None:
-        self._tuples.discard(tuple(row))
+    def discard(self, row: Sequence[Any]) -> bool:
+        """Remove a tuple if present; returns True if it was there.
+
+        Note: a bare relation carries no version counter.  When the relation
+        belongs to a :class:`repro.engine.database.Database` and cache
+        invalidation matters, mutate through :meth:`Database.remove_fact` (or
+        :meth:`Database.apply_delta`) so the database's version counter — and
+        any change log — observes the mutation.
+        """
+        tup = tuple(row)
+        if tup not in self._tuples:
+            return False
+        self._tuples.remove(tup)
+        for positions, index in self._indexes.items():
+            key = tuple(tup[p] for p in positions)
+            bucket = index.get(key)
+            if bucket is not None:
+                try:
+                    bucket.remove(tup)
+                except ValueError:  # pragma: no cover - indexes mirror _tuples
+                    pass
+                if not bucket:
+                    del index[key]
+        return True
 
     # -- access -----------------------------------------------------------------
     def tuples(self) -> FrozenSet[Tuple[Any, ...]]:
@@ -143,9 +173,24 @@ class Relation:
         return domain
 
     def index_on(self, positions: Sequence[int]) -> Dict[Tuple[Any, ...], List[Tuple[Any, ...]]]:
-        """A hash index mapping key projections to the tuples carrying them."""
-        index: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
-        for row in self._tuples:
-            key = tuple(row[p] for p in positions)
-            index.setdefault(key, []).append(row)
+        """A hash index mapping key projections to the tuples carrying them.
+
+        The index is built once per position tuple and then maintained
+        incrementally by :meth:`add`/:meth:`discard`, so repeated lookups (and
+        lookups after small deltas) never rescan the relation.  The returned
+        mapping is the live internal index: treat it as read-only.
+        """
+        key_positions = tuple(positions)
+        for position in key_positions:
+            if not 0 <= position < self.arity:
+                raise SchemaError(
+                    f"index position {position} out of range for arity {self.arity}"
+                )
+        index = self._indexes.get(key_positions)
+        if index is None:
+            index = {}
+            for row in self._tuples:
+                key = tuple(row[p] for p in key_positions)
+                index.setdefault(key, []).append(row)
+            self._indexes[key_positions] = index
         return index

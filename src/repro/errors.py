@@ -59,6 +59,10 @@ class RewritingError(ReproError):
     """Raised when a rewriting request is malformed (e.g. unknown algorithm)."""
 
 
+class MaterializationError(ReproError):
+    """Raised by the materialized-view store (delta application, maintenance)."""
+
+
 class UnsupportedFeatureError(ReproError):
     """Raised when an algorithm is asked to handle a feature it does not support.
 

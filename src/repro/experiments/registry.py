@@ -1,4 +1,4 @@
-"""A small registry mapping experiment ids (E1..E11) to their descriptions.
+"""A small registry mapping experiment ids (E1..E12) to their descriptions.
 
 The registry exists so ``benchmarks/`` and ``EXPERIMENTS.md`` agree on what
 each experiment id means; benchmark modules register themselves at import
@@ -83,6 +83,11 @@ EXPERIMENTS = [
                "A warm RewritingSession serves repeated (isomorphic) workload queries "
                "at >=5x the throughput of the cold path, with identical results",
                "benchmarks/bench_e11_service_throughput.py"),
+    Experiment("E12", "Incremental view maintenance vs full recomputation under churn", "table",
+               "Counting delta rules maintain view extents exactly (deletions included) "
+               ">=5x faster than recomputation on small deltas, and delta-scoped cache "
+               "invalidation beats the coarse version-counter flush on hit rate",
+               "benchmarks/bench_e12_incremental_maintenance.py"),
 ]
 
 for _experiment in EXPERIMENTS:

@@ -1,0 +1,97 @@
+"""Change logs: what a delta actually changed, per predicate and per view.
+
+The :class:`MaterializedViewStore` returns one :class:`ChangeLog` per applied
+delta.  It records the *effective* base delta (rows that really changed), the
+base predicates touched, and — per maintained view — the extent rows gained
+and lost plus the maintenance strategy used.  The serving layer reads
+:meth:`ChangeLog.affected_predicates` to evict exactly the cache entries
+whose queries can observe the change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Tuple
+
+from repro.materialize.delta import Delta, Row
+
+#: Maintenance strategies a ViewChange can report.
+STRATEGY_INCREMENTAL = "incremental"
+STRATEGY_RECOMPUTE = "recompute"
+STRATEGY_UNAFFECTED = "unaffected"
+
+
+@dataclass(frozen=True)
+class ViewChange:
+    """The effect of one delta on one materialized view."""
+
+    view: str
+    inserted: FrozenSet[Row]
+    removed: FrozenSet[Row]
+    #: How the new extent was obtained (incremental delta rules or recompute).
+    strategy: str = STRATEGY_INCREMENTAL
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.inserted or self.removed)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.view}: +{len(self.inserted)} -{len(self.removed)} [{self.strategy}]"
+        )
+
+
+@dataclass(frozen=True)
+class ChangeLog:
+    """Everything one delta changed: base relations and view extents."""
+
+    #: The effective base delta (only rows that actually changed).
+    delta: Delta
+    #: Per-view effects, in view-set order, for every view that was examined.
+    view_changes: Tuple[ViewChange, ...] = ()
+
+    @property
+    def base_predicates(self) -> FrozenSet[str]:
+        """Base relations whose contents actually changed."""
+        return self.delta.predicates()
+
+    @property
+    def changed_views(self) -> Tuple[str, ...]:
+        """Names of views whose extent gained or lost at least one row."""
+        return tuple(c.view for c in self.view_changes if c.changed)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.delta.is_empty() and not any(c.changed for c in self.view_changes)
+
+    def affected_predicates(self) -> FrozenSet[str]:
+        """Predicates a cached query must be checked against: base + changed views."""
+        return self.base_predicates | frozenset(self.changed_views)
+
+    def view_change(self, view_name: str) -> ViewChange:
+        for change in self.view_changes:
+            if change.view == view_name:
+                return change
+        return ViewChange(view_name, frozenset(), frozenset(), STRATEGY_UNAFFECTED)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-friendly summary (row sets reduced to counts)."""
+        return {
+            "base_predicates": sorted(self.base_predicates),
+            "delta_size": self.delta.size(),
+            "views": [
+                {
+                    "view": c.view,
+                    "inserted": len(c.inserted),
+                    "removed": len(c.removed),
+                    "strategy": c.strategy,
+                }
+                for c in self.view_changes
+            ],
+            "changed_views": list(self.changed_views),
+        }
+
+    def __str__(self) -> str:
+        parts = [f"base: {', '.join(sorted(self.base_predicates)) or '(none)'}"]
+        parts.extend(str(c) for c in self.view_changes if c.changed)
+        return "; ".join(parts)

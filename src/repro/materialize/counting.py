@@ -1,0 +1,341 @@
+"""Counting-based incremental maintenance of conjunctive views.
+
+The classical counting (multiplicity) algorithm: alongside each view extent,
+keep the number of *derivations* of every output row — the number of
+satisfying assignments of the view body producing it.  A delta then adjusts
+counts instead of recomputing extents, which makes deletions exact: a row
+leaves the extent only when its last derivation disappears.
+
+For a view body ``A1, ..., An`` and a batch delta applied as deletions
+``Δ⁻`` followed by insertions ``Δ⁺`` (three database states
+``S0 --Δ⁻--> S1 --Δ⁺--> S2``), the signed count changes are the standard
+delta rules, one per subgoal occurrence:
+
+* lost derivations (sign −1), classified by the **first** subgoal using a
+  deleted tuple::
+
+      A1@S1, ..., A(i-1)@S1,  Δ⁻Ai,  A(i+1)@S0, ..., An@S0
+
+* gained derivations (sign +1), classified by the first subgoal using an
+  inserted tuple::
+
+      A1@S1, ..., A(i-1)@S1,  Δ⁺Ai,  A(i+1)@S2, ..., An@S2
+
+Each rule seeds its join from the (small) delta tuples and probes the base
+relations through their incrementally-maintained hash indexes; no database
+state is ever copied — ``S0`` and ``S1`` are realized as the current state
+``S2`` plus small overlay sets.
+
+Self-joins are handled because every subgoal *occurrence* gets its own rule;
+comparison subgoals are checked as soon as they are ground.  Definitions
+using function terms are rejected with :class:`UnsupportedViewDefinition`
+(the store falls back to full recomputation for those views), and a count
+that would go negative raises :class:`CountInconsistencyError` (defensive:
+it means the tracked counts no longer match the database).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import MaterializationError
+from repro.datalog.atoms import Atom, Comparison
+from repro.datalog.queries import ConjunctiveQuery
+from repro.datalog.terms import Constant, Term, Variable
+from repro.engine.database import Database
+from repro.engine.evaluate import evaluate_substitutions
+from repro.engine.relation import Relation
+from repro.materialize.delta import Delta, Row
+
+
+class UnsupportedViewDefinition(MaterializationError):
+    """The definition uses a feature the counting rules cannot maintain."""
+
+
+class CountInconsistencyError(MaterializationError):
+    """A derivation count would go negative — tracked state is out of sync."""
+
+
+def check_supported(definition: ConjunctiveQuery) -> None:
+    """Raise :class:`UnsupportedViewDefinition` for non-maintainable definitions.
+
+    The counting rules handle plain conjunctive definitions: variables and
+    constants in the head, the body and the comparisons.  Function terms
+    (Skolems) would require maintaining invented values and are rejected.
+    """
+    terms: List[Term] = list(definition.head.args)
+    for atom in definition.body:
+        terms.extend(atom.args)
+    for comparison in definition.comparisons:
+        terms.extend((comparison.left, comparison.right))
+    for term in terms:
+        if not isinstance(term, (Variable, Constant)):
+            raise UnsupportedViewDefinition(
+                f"view {definition.name} uses unsupported term {term!s}; "
+                "only variables and constants can be maintained incrementally"
+            )
+
+
+def derivation_counts(definition: ConjunctiveQuery, database: Database) -> Counter:
+    """Full derivation counts: output row -> number of satisfying assignments."""
+    check_supported(definition)
+    counts: Counter = Counter()
+    head_args = definition.head.args
+    for binding in evaluate_substitutions(definition, database):
+        counts[_project_head(head_args, binding)] += 1
+    return counts
+
+
+def delta_counts(
+    definition: ConjunctiveQuery, database: Database, delta: Delta
+) -> Counter:
+    """Signed derivation-count changes caused by ``delta``.
+
+    ``database`` must be the state **after** the (effective) delta was
+    applied; ``delta`` must be effective — deletions were present before,
+    insertions were absent before (``Database.apply_delta`` returns exactly
+    this).  The result maps output rows to signed count adjustments.
+    """
+    check_supported(definition)
+    body = definition.body
+    comparisons = definition.comparisons
+    head_args = definition.head.args
+    changes: Counter = Counter()
+    if not body:
+        return changes
+
+    versions = _VersionedStates(database, delta)
+    for index, atom in enumerate(body):
+        removed = delta.removed_rows(atom.predicate)
+        if removed:
+            sources = versions.sources(body, index, later="S0")
+            _count_rule(body, comparisons, head_args, index, removed, sources, -1, changes)
+        inserted = delta.inserted_rows(atom.predicate)
+        if inserted:
+            sources = versions.sources(body, index, later="S2")
+            _count_rule(body, comparisons, head_args, index, inserted, sources, +1, changes)
+    return changes
+
+
+def apply_count_changes(
+    counts: Counter, changes: Counter
+) -> Tuple[FrozenSet[Row], FrozenSet[Row]]:
+    """Fold signed changes into ``counts`` (mutated); returns (inserted, removed).
+
+    ``inserted`` are rows whose count rose from zero, ``removed`` rows whose
+    count fell to zero — exactly the extent delta.
+    """
+    inserted: Set[Row] = set()
+    removed: Set[Row] = set()
+    for row, change in changes.items():
+        if change == 0:
+            continue
+        old = counts.get(row, 0)
+        new = old + change
+        if new < 0:
+            raise CountInconsistencyError(
+                f"derivation count for row {row!r} would become {new}"
+            )
+        if new == 0:
+            if old > 0:
+                removed.add(row)
+            counts.pop(row, None)
+        else:
+            counts[row] = new
+            if old == 0:
+                inserted.add(row)
+    return frozenset(inserted), frozenset(removed)
+
+
+# ---------------------------------------------------------------------------
+# Delta-rule join machinery
+# ---------------------------------------------------------------------------
+
+
+class _Versioned:
+    """One relation *state* realized as the live relation ± small overlays."""
+
+    __slots__ = ("relation", "plus", "minus")
+
+    def __init__(
+        self,
+        relation: Optional[Relation],
+        plus: FrozenSet[Row] = frozenset(),
+        minus: FrozenSet[Row] = frozenset(),
+    ):
+        self.relation = relation
+        self.plus = plus
+        self.minus = minus
+
+    def size(self) -> int:
+        base = len(self.relation) if self.relation is not None else 0
+        return base + len(self.plus)
+
+    def candidates(
+        self, positions: Tuple[int, ...], key: Tuple[Any, ...]
+    ) -> List[Row]:
+        rows: List[Row] = []
+        if self.relation is not None:
+            base: Sequence[Row]
+            if positions:
+                base = self.relation.index_on(positions).get(key, ())
+            else:
+                base = tuple(self.relation)
+            if self.minus:
+                rows.extend(row for row in base if row not in self.minus)
+            else:
+                rows.extend(base)
+        for row in self.plus:
+            if all(row[p] == value for p, value in zip(positions, key)):
+                rows.append(row)
+        return rows
+
+
+class _VersionedStates:
+    """The three database states S0/S1/S2 around one applied delta."""
+
+    def __init__(self, database: Database, delta: Delta):
+        self._database = database
+        self._delta = delta
+
+    def state(self, predicate: str, tag: str) -> _Versioned:
+        relation = self._database.relation(predicate)
+        inserted = self._delta.inserted_rows(predicate)
+        removed = self._delta.removed_rows(predicate)
+        if tag == "S2" or (not inserted and not removed):
+            return _Versioned(relation)
+        if tag == "S1":  # before insertions: hide what the delta added
+            return _Versioned(relation, minus=inserted)
+        if tag == "S0":  # original state: also restore what the delta removed
+            return _Versioned(relation, plus=removed, minus=inserted)
+        raise MaterializationError(f"unknown state tag {tag!r}")  # pragma: no cover
+
+    def sources(
+        self, body: Sequence[Atom], seed_index: int, later: str
+    ) -> Dict[int, _Versioned]:
+        """Per-subgoal states for one delta rule (earlier @S1, later @``later``)."""
+        return {
+            j: self.state(body[j].predicate, "S1" if j < seed_index else later)
+            for j in range(len(body))
+            if j != seed_index
+        }
+
+
+def _project_head(head_args: Sequence[Term], binding: Dict[Variable, Any]) -> Row:
+    row = []
+    for term in head_args:
+        if isinstance(term, Constant):
+            row.append(term.value)
+        else:
+            row.append(binding[term])
+    return tuple(row)
+
+
+def _bind_atom(atom: Atom, row: Row) -> Optional[Dict[Variable, Any]]:
+    """Match a delta tuple against a subgoal; None when constants/joins clash."""
+    if len(row) != len(atom.args):
+        return None
+    binding: Dict[Variable, Any] = {}
+    for term, value in zip(atom.args, row):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        else:
+            bound = binding.get(term, _MISSING)
+            if bound is _MISSING:
+                binding[term] = value
+            elif bound != value:
+                return None
+    return binding
+
+
+_MISSING = object()
+
+
+def _comparisons_ok(
+    comparisons: Sequence[Comparison], binding: Dict[Variable, Any]
+) -> bool:
+    """False only when some comparison is ground under ``binding`` and fails."""
+    for comparison in comparisons:
+        left = _resolve(comparison.left, binding)
+        right = _resolve(comparison.right, binding)
+        if left is _MISSING or right is _MISSING:
+            continue
+        if not comparison.op.evaluate(left, right):
+            return False
+    return True
+
+
+def _resolve(term: Term, binding: Dict[Variable, Any]) -> Any:
+    if isinstance(term, Constant):
+        return term.value
+    return binding.get(term, _MISSING)
+
+
+def _count_rule(
+    body: Sequence[Atom],
+    comparisons: Sequence[Comparison],
+    head_args: Sequence[Term],
+    seed_index: int,
+    seed_rows: FrozenSet[Row],
+    sources: Dict[int, _Versioned],
+    sign: int,
+    changes: Counter,
+) -> None:
+    """Count the derivations of one delta rule and fold them into ``changes``."""
+    seed_atom = body[seed_index]
+    # Static greedy join order over the remaining subgoals: prefer subgoals
+    # sharing the most already-bound variables, then smaller states.  The
+    # bound-variable set after the seed is the same for every seed row, so the
+    # order is computed once per rule.
+    bound: Set[Variable] = set(seed_atom.variables())
+    remaining = [j for j in range(len(body)) if j != seed_index]
+    order: List[int] = []
+    while remaining:
+        remaining.sort(
+            key=lambda j: (
+                -sum(1 for v in body[j].variables() if v in bound),
+                sources[j].size(),
+            )
+        )
+        chosen = remaining.pop(0)
+        order.append(chosen)
+        bound.update(body[chosen].variables())
+
+    def extend(step: int, binding: Dict[Variable, Any]) -> None:
+        if step == len(order):
+            changes[_project_head(head_args, binding)] += sign
+            return
+        atom = body[order[step]]
+        source = sources[order[step]]
+        positions: List[int] = []
+        key: List[Any] = []
+        for position, term in enumerate(atom.args):
+            value = _resolve(term, binding)
+            if value is not _MISSING:
+                positions.append(position)
+                key.append(value)
+        for row in source.candidates(tuple(positions), tuple(key)):
+            new_binding = dict(binding)
+            ok = True
+            for position, term in enumerate(atom.args):
+                value = row[position]
+                if isinstance(term, Constant):
+                    if term.value != value:
+                        ok = False
+                        break
+                else:
+                    bound_value = new_binding.get(term, _MISSING)
+                    if bound_value is _MISSING:
+                        new_binding[term] = value
+                    elif bound_value != value:
+                        ok = False
+                        break
+            if ok and _comparisons_ok(comparisons, new_binding):
+                extend(step + 1, new_binding)
+
+    for seed_row in seed_rows:
+        binding = _bind_atom(seed_atom, seed_row)
+        if binding is not None and _comparisons_ok(comparisons, binding):
+            extend(0, binding)

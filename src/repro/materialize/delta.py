@@ -1,0 +1,199 @@
+"""Deltas: batches of inserted and removed facts, keyed by relation name.
+
+A :class:`Delta` is the unit of change flowing through the materialization
+subsystem: workload generators produce streams of them, the engine applies
+them (:meth:`repro.engine.database.Database.apply_delta`), the store maintains
+view extents from them, and the serving layer scopes cache invalidation to
+the predicates they touch.
+
+Deltas are immutable and *normalized*: a row listed as both inserted and
+removed for the same relation cancels out at construction (applying "delete
+then insert" — the engine's staging — to any base state is a no-op for such a
+row, set-semantically).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_database
+
+Row = Tuple[Any, ...]
+RowSets = Mapping[str, FrozenSet[Row]]
+
+
+def _freeze(side: Mapping[str, Iterable[Sequence[Any]]]) -> Dict[str, FrozenSet[Row]]:
+    out: Dict[str, FrozenSet[Row]] = {}
+    for name, rows in side.items():
+        frozen = frozenset(tuple(row) for row in rows)
+        if not frozen:
+            continue
+        arities = {len(row) for row in frozen}
+        if len(arities) > 1:
+            raise SchemaError(
+                f"delta rows for relation {name} have mixed arities {sorted(arities)}"
+            )
+        out[name] = frozen
+    return out
+
+
+class Delta:
+    """An immutable batch of per-relation insertions and deletions."""
+
+    __slots__ = ("inserted", "removed")
+
+    def __init__(
+        self,
+        inserted: Mapping[str, Iterable[Sequence[Any]]] = (),
+        removed: Mapping[str, Iterable[Sequence[Any]]] = (),
+    ):
+        ins = _freeze(dict(inserted) if inserted else {})
+        rem = _freeze(dict(removed) if removed else {})
+        # Normalize: a row both inserted and removed nets out.
+        for name in set(ins) & set(rem):
+            overlap = ins[name] & rem[name]
+            if overlap:
+                ins[name] = ins[name] - overlap
+                rem[name] = rem[name] - overlap
+        object.__setattr__(
+            self, "inserted", {name: rows for name, rows in ins.items() if rows}
+        )
+        object.__setattr__(
+            self, "removed", {name: rows for name, rows in rem.items() if rows}
+        )
+
+    def __setattr__(self, key: str, value: Any) -> None:  # pragma: no cover
+        raise AttributeError("Delta is immutable")
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def insertion(cls, relation_name: str, rows: Iterable[Sequence[Any]]) -> "Delta":
+        """A pure-insert delta over one relation."""
+        return cls(inserted={relation_name: rows})
+
+    @classmethod
+    def deletion(cls, relation_name: str, rows: Iterable[Sequence[Any]]) -> "Delta":
+        """A pure-delete delta over one relation."""
+        return cls(removed={relation_name: rows})
+
+    @classmethod
+    def from_atoms(
+        cls, inserted: Iterable[Atom] = (), removed: Iterable[Atom] = ()
+    ) -> "Delta":
+        """Build a delta from ground atoms (the datalog-facing constructor)."""
+        return cls(inserted=_atoms_to_rows(inserted), removed=_atoms_to_rows(removed))
+
+    # -- inspection ------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return not self.inserted and not self.removed
+
+    def size(self) -> int:
+        """Total number of changed rows (insertions plus deletions)."""
+        return sum(len(rows) for rows in self.inserted.values()) + sum(
+            len(rows) for rows in self.removed.values()
+        )
+
+    def predicates(self) -> FrozenSet[str]:
+        """Names of the relations this delta touches."""
+        return frozenset(self.inserted) | frozenset(self.removed)
+
+    def inserted_rows(self, relation_name: str) -> FrozenSet[Row]:
+        return self.inserted.get(relation_name, frozenset())
+
+    def removed_rows(self, relation_name: str) -> FrozenSet[Row]:
+        return self.removed.get(relation_name, frozenset())
+
+    # -- algebra -----------------------------------------------------------------
+    def inverted(self) -> "Delta":
+        """The delta undoing this one (insertions and deletions swapped)."""
+        return Delta(inserted=self.removed, removed=self.inserted)
+
+    def merge(self, other: "Delta") -> "Delta":
+        """The union of two deltas (overlapping insert/remove pairs net out)."""
+        inserted: Dict[str, set] = {name: set(rows) for name, rows in self.inserted.items()}
+        removed: Dict[str, set] = {name: set(rows) for name, rows in self.removed.items()}
+        for name, rows in other.inserted.items():
+            inserted.setdefault(name, set()).update(rows)
+        for name, rows in other.removed.items():
+            removed.setdefault(name, set()).update(rows)
+        return Delta(inserted=inserted, removed=removed)
+
+    # -- protocol ---------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Delta):
+            return NotImplemented
+        return self.inserted == other.inserted and self.removed == other.removed
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                tuple(sorted((n, rows) for n, rows in self.inserted.items())),
+                tuple(sorted((n, rows) for n, rows in self.removed.items())),
+            )
+        )
+
+    def __repr__(self) -> str:
+        plus = sum(len(r) for r in self.inserted.values())
+        minus = sum(len(r) for r in self.removed.values())
+        return f"Delta(+{plus}, -{minus} over {sorted(self.predicates())})"
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    # -- (de)serialization ---------------------------------------------------------
+    def to_text(self) -> str:
+        """A datalog-style listing: one ``+ fact.`` / ``- fact.`` line per change."""
+        lines = []
+        for sign, side in (("+", self.inserted), ("-", self.removed)):
+            for name in sorted(side):
+                for row in sorted(side[name], key=repr):
+                    args = ", ".join(_value_to_text(v) for v in row)
+                    lines.append(f"{sign} {name}({args}).")
+        return "\n".join(lines)
+
+
+def _atoms_to_rows(atoms: Iterable[Atom]) -> Dict[str, list]:
+    from repro.engine.database import term_to_value  # local import to avoid a cycle
+
+    rows: Dict[str, list] = {}
+    for atom in atoms:
+        if not atom.is_ground():
+            raise SchemaError(f"delta facts must be ground, got {atom}")
+        rows.setdefault(atom.predicate, []).append(
+            tuple(term_to_value(t) for t in atom.args)
+        )
+    return rows
+
+
+def _value_to_text(value: Any) -> str:
+    if isinstance(value, str):
+        return f'"{value}"'
+    return str(value)
+
+
+def parse_delta(text: str) -> Delta:
+    """Parse the ``+ fact.`` / ``- fact.`` format produced by :meth:`Delta.to_text`.
+
+    Blank lines and ``#`` comments are ignored; every other line must start
+    with ``+`` or ``-`` followed by a ground fact in datalog syntax.
+    """
+    inserted_lines = []
+    removed_lines = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#") or line.startswith("%"):
+            continue
+        if line.startswith("+"):
+            inserted_lines.append(line[1:].strip())
+        elif line.startswith("-"):
+            removed_lines.append(line[1:].strip())
+        else:
+            raise SchemaError(
+                f"delta line {lineno} must start with '+' or '-': {raw!r}"
+            )
+    return Delta.from_atoms(
+        inserted=parse_database("\n".join(inserted_lines)),
+        removed=parse_database("\n".join(removed_lines)),
+    )

@@ -54,6 +54,15 @@ class LRUCache:
             self._data.popitem(last=False)
             self.evictions += 1
 
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key`` without counting a hit/miss or refreshing recency.
+
+        Used by maintenance sweeps (delta-scoped invalidation) that must not
+        skew hit-rate statistics or entry recency.
+        """
+        value = self._data.get(key, self._MISSING)
+        return default if value is self._MISSING else value
+
     def discard(self, key: Hashable) -> bool:
         """Remove one entry if present; returns whether it was there."""
         return self._data.pop(key, self._MISSING) is not self._MISSING

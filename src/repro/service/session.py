@@ -16,6 +16,16 @@ stored; on a hit, the stored rewriting is renamed into the incoming query's
 own variables.  A repeated identical query therefore gets back exactly the
 result an uncached :func:`repro.rewriting.rewriter.rewrite` call would have
 produced, and an isomorphic variant gets the correctly renamed equivalent.
+
+Data churn is handled at two granularities.  Mutating the database behind the
+session's back still triggers the coarse path: the version counter moves and
+the whole answer cache (plus the materialization) is flushed.  The fast path
+is :meth:`RewritingSession.apply_delta`: the delta flows through a
+:class:`~repro.materialize.store.MaterializedViewStore`, which maintains the
+view extents incrementally and reports *which* predicates and views actually
+changed; only answer-cache entries whose fingerprinted query touches an
+affected predicate are evicted, so cached answers (and every cached
+rewriting) for untouched predicates survive the churn.
 """
 
 from __future__ import annotations
@@ -31,7 +41,10 @@ from repro.datalog.substitution import Substitution
 from repro.datalog.views import View, ViewSet
 from repro.containment.containment import is_contained
 from repro.engine.database import Database
-from repro.engine.evaluate import evaluate, materialize_views
+from repro.engine.evaluate import evaluate
+from repro.materialize.changelog import ChangeLog
+from repro.materialize.delta import Delta
+from repro.materialize.store import MaterializedViewStore
 from repro.rewriting.plans import Rewriting, RewritingKind, RewritingResult
 from repro.rewriting.rewriter import ALGORITHMS, MODES, rewrite
 from repro.service.cache import LRUCache
@@ -84,6 +97,16 @@ def _retarget(obj: Any, renaming: Substitution, avoid_names: FrozenSet[str]) -> 
     return obj.apply(renaming, require_safe=False)
 
 
+def _query_predicates(query: QueryLike) -> FrozenSet[str]:
+    """The base predicate names a query's answers can depend on."""
+    if isinstance(query, UnionQuery):
+        names: set = set()
+        for disjunct in query.disjuncts:
+            names.update(name for name, _arity in disjunct.predicates())
+        return frozenset(names)
+    return frozenset(name for name, _arity in query.predicates())
+
+
 class RewritingSession:
     """A persistent rewriting service over one view set (and optional database).
 
@@ -128,7 +151,7 @@ class RewritingSession:
         )
         self._database = database
         self._db_version: Optional[int] = database.version if database is not None else None
-        self._materialized: Optional[Database] = None
+        self._store: Optional[MaterializedViewStore] = None
         self._rewrite_cache = LRUCache(cache_size)
         # Memoizes the renaming of cached plans into a concrete query's own
         # variables; repeated identical (or identically-named) queries skip
@@ -138,6 +161,11 @@ class RewritingSession:
         self._containment_cache = LRUCache(cache_size)
         self.requests = 0
         self.invalidations = 0
+        #: Deltas applied through apply_delta (the fine-grained churn path).
+        self.deltas_applied = 0
+        #: Answer-cache entries evicted/retained by delta-scoped invalidation.
+        self.delta_evictions = 0
+        self.delta_retained = 0
         #: Whether the most recent rewrite_cached/answer call was served from cache.
         self.last_cache_hit = False
         #: Fingerprint text of the most recently served query.
@@ -161,7 +189,7 @@ class RewritingSession:
         self._views = view_set
         self._views_token = view_set.version_token()
         self._index = ViewRelevanceIndex(view_set) if self.use_view_index else None
-        self._materialized = None
+        self._store = None
         self._rewrite_cache.clear()
         self._translation_cache.clear()
         self._answer_cache.clear()
@@ -171,7 +199,7 @@ class RewritingSession:
         """Swap the base database; answer-side caches are invalidated."""
         self._database = database
         self._db_version = database.version if database is not None else None
-        self._materialized = None
+        self._store = None
         self._answer_cache.clear()
         self.invalidations += 1
 
@@ -181,8 +209,47 @@ class RewritingSession:
         self._translation_cache.clear()
         self._answer_cache.clear()
         self._containment_cache.clear()
-        self._materialized = None
+        self._store = None
         self.invalidations += 1
+
+    # -- data churn ----------------------------------------------------------------
+    def apply_delta(self, delta: Delta) -> ChangeLog:
+        """Apply a data delta with delta-scoped (not coarse) cache invalidation.
+
+        The delta is applied to the session database through the
+        materialized-view store, which maintains every view extent
+        incrementally and reports which predicates and views actually
+        changed.  Answer-cache entries are then evicted *only* when their
+        query's predicates intersect the affected set — answers (and all
+        cached rewritings, which depend only on the view definitions) for
+        untouched predicates survive.  Mutating the database directly instead
+        still works, but costs a coarse flush of the whole answer cache.
+        """
+        self._require_database()  # syncs any out-of-band changes first
+        log = self._view_store().apply_delta(delta)
+        assert self._database is not None
+        self._db_version = self._database.version
+        self.deltas_applied += 1
+        if log.delta.is_empty():
+            return log
+        affected = log.affected_predicates()
+        evicted = 0
+        retained = 0
+        for key in list(self._answer_cache):
+            entry = self._answer_cache.peek(key)
+            if entry is None:
+                continue
+            _answers, predicates = entry
+            if predicates & affected:
+                self._answer_cache.discard(key)
+                evicted += 1
+            else:
+                retained += 1
+        self.delta_evictions += evicted
+        self.delta_retained += retained
+        if evicted:
+            self.invalidations += 1
+        return log
 
     # -- rewriting ----------------------------------------------------------------
     def rewrite_cached(self, query: ConjunctiveQuery) -> RewritingResult:
@@ -295,11 +362,11 @@ class RewritingSession:
         cached = self._answer_cache.get(key)
         if cached is not None:
             self.last_cache_hit = True
-            return cached
+            return cached[0]
         result = self._rewrite_with_fp(query, fp)
         answers = self._evaluate_plan(query, result)
         self.last_cache_hit = False
-        self._answer_cache.put(key, answers)
+        self._answer_cache.put(key, (answers, _query_predicates(query)))
         return answers
 
     def answer_with_plan(
@@ -317,10 +384,12 @@ class RewritingSession:
         result = self._rewrite_with_fp(query, fp)
         rewrite_hit = self.last_cache_hit
         key = (fp.text, self.algorithm, self.mode)
-        answers = self._answer_cache.get(key)
-        if answers is None:
+        cached = self._answer_cache.get(key)
+        if cached is None:
             answers = self._evaluate_plan(query, result)
-            self._answer_cache.put(key, answers)
+            self._answer_cache.put(key, (answers, _query_predicates(query)))
+        else:
+            answers = cached[0]
         self.last_cache_hit = rewrite_hit
         return answers, result
 
@@ -342,19 +411,25 @@ class RewritingSession:
         return evaluate(query, self._database)
 
     def _refresh_database_version(self) -> None:
+        # The coarse path: an out-of-band mutation moved the version counter,
+        # so every cached answer is suspect.  The store self-heals (it
+        # re-materializes on next access when stale); the answer cache is
+        # flushed wholesale.  apply_delta avoids all of this.
         assert self._database is not None
         version = self._database.version
         if version != self._db_version:
             self._db_version = version
-            self._materialized = None
             self._answer_cache.clear()
             self.invalidations += 1
 
-    def _materialized_instance(self) -> Database:
+    def _view_store(self) -> MaterializedViewStore:
         assert self._database is not None
-        if self._materialized is None:
-            self._materialized = materialize_views(self._views, self._database)
-        return self._materialized
+        if self._store is None:
+            self._store = MaterializedViewStore(self._views, self._database)
+        return self._store
+
+    def _materialized_instance(self) -> Database:
+        return self._view_store().as_database()
 
     # -- containment --------------------------------------------------------------
     def contained_cached(self, left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
@@ -377,7 +452,11 @@ class RewritingSession:
             "views": len(self._views),
             "views_token": self._views_token,
             "database_version": self._db_version,
-            "materialized": self._materialized is not None,
+            "materialized": self._store is not None,
+            "deltas_applied": self.deltas_applied,
+            "delta_evictions": self.delta_evictions,
+            "delta_retained": self.delta_retained,
+            "store": self._store.stats() if self._store is not None else None,
             "rewrite_cache": self._rewrite_cache.stats(),
             "translation_cache": self._translation_cache.stats(),
             "answer_cache": self._answer_cache.stats(),

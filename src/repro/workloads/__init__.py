@@ -30,12 +30,23 @@ from repro.workloads.schemas import (
     paper_example,
     university_schema,
 )
+from repro.workloads.updates import (
+    UpdateWorkload,
+    chain_update_workload,
+    complete_update_workload,
+    star_update_workload,
+    update_stream,
+    update_workload,
+)
 
 __all__ = [
+    "UpdateWorkload",
     "WorkloadSpec",
     "chain_query",
+    "chain_update_workload",
     "chain_views",
     "complete_query",
+    "complete_update_workload",
     "complete_views",
     "enterprise_schema",
     "paper_example",
@@ -45,7 +56,10 @@ __all__ = [
     "random_views",
     "scaled_database",
     "star_query",
+    "star_update_workload",
     "star_views",
     "university_schema",
+    "update_stream",
+    "update_workload",
     "workload",
 ]

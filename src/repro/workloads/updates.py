@@ -1,0 +1,261 @@
+"""Update workloads: deterministic insert/delete streams for churn experiments.
+
+The read-side generators (:mod:`repro.workloads.generators`) produce the
+query/view shapes; this module produces the *write* side — streams of
+:class:`~repro.materialize.delta.Delta` batches over the matching schemas —
+so incremental maintenance and delta-scoped cache invalidation can be
+exercised on the same chain/star/complete workloads the rewriting benchmarks
+use.
+
+Streams are deterministic given ``seed``.  Each generated delta is *valid
+against the evolving database state*: deletions pick rows that exist at that
+point of the stream, insertions pick rows that are absent, so every change is
+effective and ``delta.size() / base_size`` is a faithful churn rate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import QueryConstructionError
+from repro.datalog.queries import ConjunctiveQuery
+from repro.datalog.views import ViewSet
+from repro.engine.database import Database
+from repro.materialize.delta import Delta
+from repro.workloads.data import random_chain_database, random_database
+from repro.workloads.generators import (
+    chain_query,
+    chain_views,
+    complete_query,
+    complete_views,
+    star_query,
+    star_views,
+)
+
+
+@dataclass
+class UpdateWorkload:
+    """A churn scenario: query + views + base database + a stream of deltas."""
+
+    name: str
+    query: ConjunctiveQuery
+    views: ViewSet
+    database: Database
+    deltas: List[Delta]
+    #: Free-form parameters recorded for reporting (sizes, churn rate, seed...).
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    def total_churn(self) -> int:
+        """Total changed rows across the stream."""
+        return sum(delta.size() for delta in self.deltas)
+
+
+def update_stream(
+    database: Database,
+    steps: int = 10,
+    churn: float = 0.01,
+    insert_ratio: float = 0.5,
+    relations: Optional[Sequence[str]] = None,
+    domain_size: int = 50,
+    seed: int = 0,
+) -> List[Delta]:
+    """A stream of ``steps`` deltas, each changing ``churn`` of the database.
+
+    Every delta mixes insertions and deletions in ``insert_ratio`` proportion
+    (0.0 = pure deletes, 1.0 = pure inserts), spread over ``relations``
+    (default: all relations of ``database``).  Deletions target rows present
+    at that point of the stream; insertions draw fresh rows from the integer
+    domain ``0 .. domain_size - 1`` (re-drawing rows that already exist).
+    The input database is **not** mutated — the stream simulates the evolving
+    state internally.
+    """
+    if steps < 0:
+        raise QueryConstructionError("update stream needs a non-negative step count")
+    if not 0.0 <= insert_ratio <= 1.0:
+        raise QueryConstructionError("insert_ratio must lie in [0, 1]")
+    rng = random.Random(seed)
+    names = list(relations) if relations is not None else list(database.relation_names())
+    # The evolving state, kept as a set (membership) plus a parallel list
+    # (O(1) deterministic random picks via index + swap-pop).
+    state: Dict[str, Set[Tuple]] = {}
+    pool: Dict[str, List[Tuple]] = {}
+    arity: Dict[str, int] = {}
+    for name in names:
+        relation = database.relation(name)
+        if relation is None:
+            raise QueryConstructionError(f"database has no relation {name!r}")
+        state[name] = set(relation.tuples())
+        pool[name] = sorted(state[name], key=repr)
+        arity[name] = relation.arity
+    base_size = sum(len(rows) for rows in state.values())
+    per_delta = max(1, int(base_size * churn))
+    deltas: List[Delta] = []
+    for _step in range(steps):
+        inserted: Dict[str, Set[Tuple]] = {}
+        removed: Dict[str, Set[Tuple]] = {}
+        for _change in range(per_delta):
+            name = rng.choice(names)
+            if rng.random() < insert_ratio or not state[name]:
+                row = _fresh_row(rng, arity[name], domain_size, state[name])
+                if row is None:
+                    continue
+                state[name].add(row)
+                pool[name].append(row)
+                inserted.setdefault(name, set()).add(row)
+            else:
+                index = rng.randrange(len(pool[name]))
+                row = pool[name][index]
+                pool[name][index] = pool[name][-1]
+                pool[name].pop()
+                state[name].remove(row)
+                removed.setdefault(name, set()).add(row)
+        deltas.append(Delta(inserted=inserted, removed=removed))
+    return deltas
+
+
+def _fresh_row(
+    rng: random.Random, arity: int, domain_size: int, existing: Set[Tuple]
+) -> Optional[Tuple]:
+    for _attempt in range(50):
+        row = tuple(rng.randrange(domain_size) for _ in range(arity))
+        if row not in existing:
+            return row
+    return None  # domain effectively saturated; skip this change
+
+
+# ---------------------------------------------------------------------------
+# Shape-specific front doors (matching the read-side generators)
+# ---------------------------------------------------------------------------
+
+
+def chain_update_workload(
+    length: int = 4,
+    tuples_per_relation: int = 200,
+    domain_size: int = 50,
+    steps: int = 10,
+    churn: float = 0.01,
+    insert_ratio: float = 0.5,
+    segment_lengths: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> UpdateWorkload:
+    """Churn over a chain schema ``r1 .. rN`` with segment views."""
+    database = random_chain_database(
+        length, tuples_per_relation=tuples_per_relation, domain_size=domain_size, seed=seed
+    )
+    deltas = update_stream(
+        database,
+        steps=steps,
+        churn=churn,
+        insert_ratio=insert_ratio,
+        domain_size=domain_size,
+        seed=seed + 1,
+    )
+    return UpdateWorkload(
+        name="chain",
+        query=chain_query(length),
+        views=chain_views(length, segment_lengths=segment_lengths),
+        database=database,
+        deltas=deltas,
+        parameters={
+            "length": length,
+            "tuples_per_relation": tuples_per_relation,
+            "steps": steps,
+            "churn": churn,
+            "insert_ratio": insert_ratio,
+            "seed": seed,
+        },
+    )
+
+
+def star_update_workload(
+    arms: int = 4,
+    tuples_per_relation: int = 200,
+    domain_size: int = 50,
+    steps: int = 10,
+    churn: float = 0.01,
+    insert_ratio: float = 0.5,
+    seed: int = 0,
+) -> UpdateWorkload:
+    """Churn over a star schema ``e1 .. eK`` with arm-subset views."""
+    schema = {f"e{i}": 2 for i in range(1, arms + 1)}
+    database = random_database(
+        schema, tuples_per_relation=tuples_per_relation, domain_size=domain_size, seed=seed
+    )
+    deltas = update_stream(
+        database,
+        steps=steps,
+        churn=churn,
+        insert_ratio=insert_ratio,
+        domain_size=domain_size,
+        seed=seed + 1,
+    )
+    return UpdateWorkload(
+        name="star",
+        query=star_query(arms),
+        views=star_views(arms, expose_center=True),
+        database=database,
+        deltas=deltas,
+        parameters={
+            "arms": arms,
+            "tuples_per_relation": tuples_per_relation,
+            "steps": steps,
+            "churn": churn,
+            "insert_ratio": insert_ratio,
+            "seed": seed,
+        },
+    )
+
+
+def complete_update_workload(
+    size: int = 3,
+    num_views: int = 5,
+    num_edges: int = 300,
+    domain_size: int = 40,
+    steps: int = 10,
+    churn: float = 0.01,
+    insert_ratio: float = 0.5,
+    seed: int = 0,
+) -> UpdateWorkload:
+    """Churn over the single ``edge`` relation of the complete (clique) workload."""
+    database = random_database(
+        {"edge": 2}, tuples_per_relation=num_edges, domain_size=domain_size, seed=seed
+    )
+    deltas = update_stream(
+        database,
+        steps=steps,
+        churn=churn,
+        insert_ratio=insert_ratio,
+        domain_size=domain_size,
+        seed=seed + 1,
+    )
+    return UpdateWorkload(
+        name="complete",
+        query=complete_query(size),
+        views=complete_views(size, num_views=num_views, seed=seed),
+        database=database,
+        deltas=deltas,
+        parameters={
+            "size": size,
+            "num_views": num_views,
+            "num_edges": num_edges,
+            "steps": steps,
+            "churn": churn,
+            "insert_ratio": insert_ratio,
+            "seed": seed,
+        },
+    )
+
+
+def update_workload(kind: str, **parameters) -> UpdateWorkload:
+    """Front door mirroring :func:`repro.workloads.generators.workload`."""
+    if kind == "chain":
+        return chain_update_workload(**parameters)
+    if kind == "star":
+        return star_update_workload(**parameters)
+    if kind == "complete":
+        return complete_update_workload(**parameters)
+    raise QueryConstructionError(
+        f"unknown update workload kind {kind!r}; expected chain, star or complete"
+    )

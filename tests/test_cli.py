@@ -135,6 +135,55 @@ class TestExperimentsCommand:
         assert "bench_e4_chain_views" in output
 
 
+class TestMaterializeCommand:
+    def test_prints_extents(self):
+        code, output = run_cli(["materialize", "--views", VIEWS, "--database", DATABASE])
+        assert code == 0
+        assert "-- v_rs/2: 2 rows" in output
+        assert "1\t5" in output
+        assert "materialized 3 views" in output
+
+    def test_sizes_only_and_view_filter(self):
+        code, output = run_cli(
+            ["materialize", "--views", VIEWS, "--database", DATABASE,
+             "--sizes-only", "--view", "v_rs"]
+        )
+        assert code == 0
+        assert "-- v_rs/2: 2 rows" in output
+        assert "v_r/2" not in output
+        assert "1\t5" not in output
+
+
+class TestApplyDeltaCommand:
+    def test_applies_and_reports_changes(self, tmp_path):
+        delta_file = tmp_path / "delta.txt"
+        delta_file.write_text("+ r(7, 2).\n- s(4, 6).\n")
+        code, output = run_cli(
+            ["apply-delta", "--views", VIEWS, "--database", DATABASE,
+             "--delta", str(delta_file), "--show-extents", "--verify"]
+        )
+        assert code == 0
+        assert "2 requested, 2 effective" in output
+        assert "base r: +1 -0" in output
+        assert "view *v_rs: +1 -1 [incremental]" in output
+        assert "verified" in output
+
+    def test_inline_delta_and_noop(self):
+        code, output = run_cli(
+            ["apply-delta", "--views", VIEWS, "--database", DATABASE,
+             "--delta", "+ r(1, 2)."]  # already present
+        )
+        assert code == 0
+        assert "1 requested, 0 effective" in output
+
+    def test_bad_delta_line_is_reported(self):
+        code, _output = run_cli(
+            ["apply-delta", "--views", VIEWS, "--database", DATABASE,
+             "--delta", "r(1, 2)."]
+        )
+        assert code == 2
+
+
 class TestServeCommand:
     def test_serves_queries_from_file(self, tmp_path):
         queries = tmp_path / "queries.txt"

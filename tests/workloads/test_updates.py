@@ -1,0 +1,114 @@
+"""Tests for the update-workload (churn stream) generators."""
+
+import pytest
+
+from repro.errors import QueryConstructionError
+from repro.engine.database import Database
+from repro.materialize.store import MaterializedViewStore
+from repro.materialize.compare import assert_consistent
+from repro.workloads.data import random_chain_database
+from repro.workloads.updates import (
+    chain_update_workload,
+    complete_update_workload,
+    star_update_workload,
+    update_stream,
+    update_workload,
+)
+
+
+class TestUpdateStream:
+    def test_deterministic(self):
+        db = random_chain_database(3, tuples_per_relation=50, seed=5)
+        first = update_stream(db, steps=4, churn=0.02, seed=11)
+        second = update_stream(db, steps=4, churn=0.02, seed=11)
+        assert first == second
+        different = update_stream(db, steps=4, churn=0.02, seed=12)
+        assert first != different
+
+    def test_deltas_are_valid_against_evolving_state(self):
+        db = random_chain_database(3, tuples_per_relation=50, seed=0)
+        deltas = update_stream(db, steps=6, churn=0.02, seed=1)
+        shadow = db.copy()
+        for delta in deltas:
+            for name, rows in delta.removed.items():
+                for row in rows:
+                    assert row in shadow.tuples(name)
+            for name, rows in delta.inserted.items():
+                for row in rows:
+                    assert row not in shadow.tuples(name)
+            effective = shadow.apply_delta(delta)
+            assert effective == delta  # every change was effective
+
+    def test_input_database_not_mutated(self):
+        db = random_chain_database(2, tuples_per_relation=30, seed=0)
+        before = {name: db.tuples(name) for name in db.relation_names()}
+        update_stream(db, steps=5, churn=0.05, seed=2)
+        assert {name: db.tuples(name) for name in db.relation_names()} == before
+
+    def test_churn_size(self):
+        db = random_chain_database(2, tuples_per_relation=100, seed=0)
+        deltas = update_stream(db, steps=3, churn=0.05, seed=3)
+        expected = max(1, int(db.size() * 0.05))
+        for delta in deltas:
+            assert delta.size() <= expected  # saturated draws may be skipped
+            assert delta.size() >= expected - 2
+
+    def test_insert_ratio_extremes(self):
+        db = random_chain_database(2, tuples_per_relation=40, seed=0)
+        inserts_only = update_stream(db, steps=3, churn=0.05, insert_ratio=1.0, seed=4)
+        assert all(not d.removed for d in inserts_only)
+        deletes_only = update_stream(db, steps=3, churn=0.05, insert_ratio=0.0, seed=4)
+        assert all(not d.inserted for d in deletes_only)
+
+    def test_restricted_relations(self):
+        db = random_chain_database(3, tuples_per_relation=40, seed=0)
+        deltas = update_stream(db, steps=4, churn=0.05, relations=["r1"], seed=5)
+        assert all(d.predicates() <= {"r1"} for d in deltas)
+
+    def test_unknown_relation_rejected(self):
+        db = Database.from_dict({"r": [(1, 2)]})
+        with pytest.raises(QueryConstructionError):
+            update_stream(db, relations=["ghost"])
+
+    def test_bad_parameters_rejected(self):
+        db = Database.from_dict({"r": [(1, 2)]})
+        with pytest.raises(QueryConstructionError):
+            update_stream(db, steps=-1)
+        with pytest.raises(QueryConstructionError):
+            update_stream(db, insert_ratio=1.5)
+
+
+class TestShapeWorkloads:
+    @pytest.mark.parametrize("kind", ["chain", "star", "complete"])
+    def test_front_door(self, kind):
+        workload = update_workload(
+            kind, steps=3, churn=0.02, tuples_per_relation=40, seed=1
+        ) if kind != "complete" else update_workload(kind, steps=3, churn=0.02, seed=1)
+        assert workload.name == kind
+        assert len(workload.deltas) == 3
+        assert workload.total_churn() > 0
+        assert len(workload.views) > 0
+
+    def test_unknown_kind(self):
+        with pytest.raises(QueryConstructionError):
+            update_workload("zigzag")
+
+    def test_chain_stream_drives_store_consistently(self):
+        workload = chain_update_workload(
+            length=3, tuples_per_relation=40, steps=4, churn=0.05, seed=2,
+            segment_lengths=[1, 2],
+        )
+        store = MaterializedViewStore(workload.views, workload.database)
+        for delta in workload.deltas:
+            store.apply_delta(delta)
+            assert_consistent(store)
+
+    def test_star_and_complete_streams_drive_store(self):
+        for workload in (
+            star_update_workload(arms=3, tuples_per_relation=30, steps=3, churn=0.05, seed=3),
+            complete_update_workload(size=3, num_edges=60, steps=3, churn=0.05, seed=4),
+        ):
+            store = MaterializedViewStore(workload.views, workload.database)
+            for delta in workload.deltas:
+                store.apply_delta(delta)
+                assert_consistent(store)
