@@ -1,0 +1,159 @@
+"""E13 — compiled set-at-a-time execution vs the backtracking interpreter.
+
+The execution engine's claims:
+
+1. On the chain and star workloads, the compiled physical-plan executor
+   (:mod:`repro.exec`) answers queries at least 3x faster than the
+   tuple-at-a-time backtracking interpreter, and it does not regress the
+   complete (clique) workload.
+2. Both engines produce *identical* answer sets for every measured query —
+   asserted per query, comparisons included.
+3. The plan cache serves repeated queries without recompilation (hits
+   strictly exceed misses across the measured repetitions).
+
+Writes the machine-readable ``BENCH_e13.json`` at the repo root.  Set
+``REPRO_BENCH_SMOKE=1`` (CI) to run a reduced instance that keeps every
+correctness assertion but relaxes the timing target, which is meaningless on
+shared runners.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.datalog.parser import parse_query
+from repro.engine.evaluate import evaluate
+from repro.exec import CompiledExecutor, InterpretedExecutor
+from repro.workloads.data import (
+    random_chain_database,
+    random_database,
+    random_graph_database,
+)
+from repro.workloads.generators import chain_query, complete_query, star_query
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SPEEDUP_TARGET = 1.0 if SMOKE else 3.0
+ROUNDS = 2 if SMOKE else 5
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_e13.json"
+
+CHAIN = dict(tuples_per_relation=250, domain_size=80) if SMOKE else dict(
+    tuples_per_relation=2000, domain_size=300
+)
+STAR = dict(tuples_per_relation=200, domain_size=60) if SMOKE else dict(
+    tuples_per_relation=1500, domain_size=220
+)
+GRAPH = dict(num_nodes=60, num_edges=400) if SMOKE else dict(num_nodes=180, num_edges=2600)
+
+
+def _workloads():
+    """(name, database, queries) triples for the three paper shapes."""
+    chain_db = random_chain_database(4, seed=1, **CHAIN)
+    chain_queries = [
+        chain_query(4),
+        # The same chain with a comparison filter, exercising compiled filters.
+        parse_query(
+            "qc(X0, X4) :- r1(X0, X1), r2(X1, X2), r3(X2, X3), r4(X3, X4), X0 < X4."
+        ),
+    ]
+    star_db = random_database({f"e{i}": 2 for i in range(1, 5)}, seed=2, **STAR)
+    star_queries = [
+        star_query(4),
+        parse_query("qs(C, X1, X2) :- e1(C, X1), e2(C, X2), X1 != X2."),
+    ]
+    graph_db = random_graph_database(seed=3, **GRAPH)
+    complete_queries = [complete_query(3)]
+    return [
+        ("chain", chain_db, chain_queries),
+        ("star", star_db, star_queries),
+        ("complete", graph_db, complete_queries),
+    ]
+
+
+def _measure(name, database, queries, compiled, interpreted):
+    """Time both engines over repeated evaluation; assert identical answers."""
+    # Warm-up: builds the shared relation indexes and the compiled plans, so
+    # the measured loop compares steady-state execution (the serving regime).
+    answer_counts = []
+    mismatches = 0
+    for query in queries:
+        compiled_answers = evaluate(query, database, executor=compiled)
+        interpreted_answers = evaluate(query, database, executor=interpreted)
+        if compiled_answers != interpreted_answers:
+            mismatches += 1
+        answer_counts.append(len(compiled_answers))
+
+    compiled_seconds = 0.0
+    interpreted_seconds = 0.0
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        for query in queries:
+            evaluate(query, database, executor=compiled)
+        compiled_seconds += time.perf_counter() - started
+        started = time.perf_counter()
+        for query in queries:
+            evaluate(query, database, executor=interpreted)
+        interpreted_seconds += time.perf_counter() - started
+
+    return {
+        "workload": name,
+        "queries": len(queries),
+        "base_facts": database.size(),
+        "rounds": ROUNDS,
+        "answers": answer_counts,
+        "answer_mismatches": mismatches,
+        "compiled_seconds": compiled_seconds,
+        "interpreted_seconds": interpreted_seconds,
+        "speedup": interpreted_seconds / compiled_seconds if compiled_seconds else float("inf"),
+    }
+
+
+def _run_all():
+    compiled = CompiledExecutor()
+    interpreted = InterpretedExecutor()
+    rows = [
+        _measure(name, database, queries, compiled, interpreted)
+        for name, database, queries in _workloads()
+    ]
+    results = {
+        "experiment": "E13",
+        "smoke": SMOKE,
+        "speedup_target": SPEEDUP_TARGET,
+        "workloads": {row["workload"]: row for row in rows},
+        "plan_cache": compiled.stats(),
+    }
+    RESULT_PATH.write_text(json.dumps(results, indent=2))
+    return results
+
+
+def test_e13_execution_engine(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    benchmark.extra_info["experiment"] = "E13"
+    print()
+    print("E13: compiled set-at-a-time executor vs backtracking interpreter")
+    for name, row in results["workloads"].items():
+        print(
+            f"  {name:<9} compiled {row['compiled_seconds']*1e3:8.1f} ms   "
+            f"interpreted {row['interpreted_seconds']*1e3:8.1f} ms   "
+            f"speedup {row['speedup']:5.1f}x   answers {sum(row['answers'])}"
+        )
+    cache = results["plan_cache"]
+    print(
+        f"  plan cache: {cache['plan_hits']} hits / {cache['plan_misses']} misses, "
+        f"{cache['fallbacks']} interpreter fallbacks"
+    )
+    for name, row in results["workloads"].items():
+        # Correctness: both engines agree on every measured query.
+        assert row["answer_mismatches"] == 0, f"{name}: engines disagree"
+    for name in ("chain", "star"):
+        row = results["workloads"][name]
+        # Headline claim: compiled execution beats the interpreter.
+        assert row["speedup"] >= SPEEDUP_TARGET, (
+            f"{name}: speedup {row['speedup']:.1f}x below target {SPEEDUP_TARGET}x"
+        )
+    # The clique workload must at least not regress.
+    assert results["workloads"]["complete"]["speedup"] >= 1.0
+    # Plan caching: the measured repetitions were all served from cache.
+    assert cache["plan_hits"] > cache["plan_misses"]
+    assert cache["fallbacks"] == 0
+    assert RESULT_PATH.exists()

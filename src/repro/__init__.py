@@ -88,6 +88,11 @@ from repro.rewriting import (
     view_is_usable,
     view_is_useful,
 )
+from repro.exec import (
+    CompiledExecutor,
+    InterpretedExecutor,
+    set_default_executor,
+)
 from repro.materialize import (
     ChangeLog,
     Delta,
@@ -114,6 +119,7 @@ __all__ = [
     "ChangeLog",
     "Comparison",
     "ComparisonOperator",
+    "CompiledExecutor",
     "ConjunctiveQuery",
     "Constant",
     "Database",
@@ -122,6 +128,7 @@ __all__ = [
     "EvaluationError",
     "ExhaustiveRewriter",
     "FunctionTerm",
+    "InterpretedExecutor",
     "InverseRulesRewriter",
     "LRUCache",
     "MaterializationError",
@@ -166,6 +173,7 @@ __all__ = [
     "maximally_contained_rewriting",
     "measured_cost",
     "minimize",
+    "set_default_executor",
     "parse_atom",
     "parse_database",
     "parse_delta",

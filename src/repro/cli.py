@@ -22,7 +22,7 @@ without writing Python:
     Process a file of workload queries through one session, optionally with
     multiprocessing fan-out, and report per-query results and throughput.
 ``python -m repro experiments``
-    List the reproduced experiments (E1..E12) and the bench that regenerates
+    List the reproduced experiments (E1..E13) and the bench that regenerates
     each.
 
 Queries and views are given inline or in files, in the datalog syntax of
@@ -40,6 +40,7 @@ from repro.errors import ReproError
 from repro.datalog.parser import parse_database, parse_program, parse_query, parse_views
 from repro.engine.database import Database
 from repro.engine.evaluate import evaluate, materialize_views
+from repro.exec import EXECUTORS, set_default_executor
 from repro.experiments.registry import all_experiments
 from repro.materialize.compare import verify_extents
 from repro.materialize.delta import parse_delta
@@ -82,6 +83,7 @@ def _command_rewrite(args: argparse.Namespace, out) -> int:
 
 
 def _command_answer(args: argparse.Namespace, out) -> int:
+    set_default_executor(args.executor)
     query = parse_query(_read_text(args.query))
     database = _load_database(args.database)
     if args.views:
@@ -114,6 +116,7 @@ def _command_certain(args: argparse.Namespace, out) -> int:
 
 
 def _command_materialize(args: argparse.Namespace, out) -> int:
+    set_default_executor(args.executor)
     views = parse_views(_read_text(args.views))
     database = _load_database(args.database)
     store = MaterializedViewStore(views, database)
@@ -181,6 +184,7 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         mode=args.mode,
         cache_size=args.cache_size,
         use_view_index=not args.no_view_index,
+        executor=args.executor,
     )
     source = Path(args.input).open() if args.input else sys.stdin
     served = 0
@@ -254,6 +258,7 @@ def _command_batch(args: argparse.Namespace, out) -> int:
         use_view_index=not args.no_view_index,
         with_answers=args.answers,
         processes=args.processes,
+        executor=args.executor,
     )
     for item in report.items:
         status = "error" if item.error else ("hit " if item.cache_hit else "miss")
@@ -306,6 +311,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--views", help="optional views: answer through an equivalent rewriting instead"
     )
     answer_parser.add_argument("--algorithm", choices=ALGORITHMS, default="minicon")
+    answer_parser.add_argument(
+        "--executor", choices=EXECUTORS, default="compiled", help="execution engine for query evaluation (default: compiled)"
+    )
     answer_parser.set_defaults(handler=_command_answer)
 
     certain_parser = subparsers.add_parser(
@@ -333,6 +341,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     materialize_parser.add_argument(
         "--sizes-only", action="store_true", help="print extent sizes without the rows"
+    )
+    materialize_parser.add_argument(
+        "--executor", choices=EXECUTORS, default="compiled", help="execution engine for query evaluation (default: compiled)"
     )
     materialize_parser.set_defaults(handler=_command_materialize)
 
@@ -372,6 +383,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--no-view-index", action="store_true", help="disable view-relevance pruning"
     )
+    serve_parser.add_argument(
+        "--executor", choices=EXECUTORS, default="compiled", help="execution engine for query evaluation (default: compiled)"
+    )
     serve_parser.set_defaults(handler=_command_serve)
 
     batch_parser = subparsers.add_parser(
@@ -395,6 +409,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_parser.add_argument(
         "--no-view-index", action="store_true", help="disable view-relevance pruning"
+    )
+    batch_parser.add_argument(
+        "--executor", choices=EXECUTORS, default="compiled", help="execution engine for query evaluation (default: compiled)"
     )
     batch_parser.add_argument("--json", help="write the full report to this JSON file")
     batch_parser.set_defaults(handler=_command_batch)

@@ -9,9 +9,13 @@ The engine exists for two reasons:
   of answering a query directly against the cost of answering it through its
   rewriting over (smaller) materialized views.
 
-It is deliberately simple — sets of tuples, hash-join style backtracking
-evaluation, naive-to-fixpoint datalog — but complete enough to run every
-experiment in the benchmark harness.
+The substrate is deliberately simple — sets of tuples with incrementally
+maintained hash indexes, naive-to-fixpoint datalog — and evaluation is
+pluggable: :func:`evaluate` routes through the compiled set-at-a-time
+engine of :mod:`repro.exec` by default, with this package's backtracking
+interpreter as the lazy-enumeration engine and compiler fallback.  Fast
+enough to serve, complete enough to run every experiment in the benchmark
+harness.
 """
 
 from repro.engine.relation import Relation, SkolemValue

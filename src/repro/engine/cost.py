@@ -7,7 +7,10 @@ argument; this module provides two:
 
 * :func:`estimate_cost` — a textbook cardinality estimate: the expected size
   of the intermediate results of a left-deep join over the subgoals, using
-  relation sizes and distinct-value counts for join selectivities.
+  relation sizes and distinct-value counts for join selectivities.  The
+  counts come from :mod:`repro.exec.stats` — the same version-validated
+  statistics snapshots that drive the compiled executor's join ordering —
+  so repeated estimates over a stable database never rescan a column.
 * :func:`measured_cost` — actually evaluate the query and report the work
   counters of the evaluator (probes + binding extensions).  This is the value
   used in the E7 benchmark tables.
@@ -16,7 +19,7 @@ argument; this module provides two:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.datalog.atoms import Atom
 from repro.datalog.queries import ConjunctiveQuery, UnionQuery
@@ -38,10 +41,9 @@ class CostModel:
 
 
 def _distinct_values(database: Database, atom: Atom, position: int) -> int:
-    relation = database.relation(atom.predicate)
-    if relation is None or len(relation) == 0:
-        return 1
-    return max(1, len(relation.column_values(position)))
+    from repro.exec.stats import statistics_for  # deferred: repro.exec imports engine
+
+    return statistics_for(database).distinct(atom.predicate, position)
 
 
 def estimate_cost(
@@ -89,16 +91,19 @@ def estimate_cost(
 
 
 def measured_cost(
-    query: "ConjunctiveQuery | UnionQuery", database: Database
+    query: "ConjunctiveQuery | UnionQuery",
+    database: Database,
+    executor: Optional[Any] = None,
 ) -> Tuple[float, EvaluationStatistics]:
     """Evaluate the query and report (work, statistics).
 
     ``work`` is the evaluator's probe + extension count — a deterministic,
     platform-independent proxy for running time that the benchmark tables use
-    alongside wall-clock timings.
+    alongside wall-clock timings.  ``executor`` selects the engine measured
+    (default: the compiled engine); both engines fill the same counters.
     """
     stats = EvaluationStatistics()
-    evaluate(query, database, stats)
+    evaluate(query, database, stats, executor=executor)
     return float(stats.work), stats
 
 

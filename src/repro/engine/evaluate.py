@@ -1,14 +1,28 @@
 """Evaluation of conjunctive queries and unions over in-memory databases.
 
-The evaluator is a backtracking join: subgoals are ordered greedily (bound,
-selective subgoals first), candidate tuples are fetched through hash indexes
-on the currently-bound argument positions, and comparison subgoals are checked
-as soon as both sides are ground.
+Two execution engines sit behind the :func:`evaluate` front door:
 
-Evaluation also collects :class:`EvaluationStatistics`, which the cost model
-(`repro.engine.cost`) uses to compare the work needed to answer a query
-directly against the work needed to answer its rewriting over materialized
-views — the paper's query-optimization motivation.
+* the **compiled, set-at-a-time engine** (:mod:`repro.exec`, the default):
+  queries are compiled into physical plans — indexed scans feeding hash-join
+  pipelines with cost-based join ordering — that operate on whole relations
+  at a time, with plan caching keyed by canonical query and database version;
+* the **backtracking interpreter** (this module): subgoals are ordered
+  greedily, candidate tuples are fetched through hash indexes on the
+  currently-bound argument positions one binding at a time, and comparison
+  subgoals are checked as soon as both sides are ground.
+
+The interpreter remains the fallback for queries the compiler does not
+admit — anything containing function terms (the Skolem terms of the
+inverse-rules algorithm) — and the engine of choice for lazy enumeration
+(:func:`evaluate_substitutions`, :func:`evaluate_boolean`, and the delta
+rules of :mod:`repro.materialize.counting`, which all want bindings one at a
+time).  Pick an engine per call with ``evaluate(..., executor=...)`` or
+globally with :func:`repro.exec.set_default_executor`.
+
+Both engines fill the same :class:`EvaluationStatistics`, which the cost
+model (:mod:`repro.engine.cost`) uses to compare the work needed to answer a
+query directly against the work needed to answer its rewriting over
+materialized views — the paper's query-optimization motivation.
 """
 
 from __future__ import annotations
@@ -91,7 +105,14 @@ def _ground_term(term: Term, binding: Binding) -> Tuple[bool, Any]:
 
 
 def _order_subgoals(query: ConjunctiveQuery, database: Database) -> List[Atom]:
-    """Greedy join order: smallest relations first, then maximize bound variables."""
+    """Greedy join order: smallest relations first, then maximize bound variables.
+
+    This is the interpreter (fallback) path's ordering; the compiled engine
+    has its own cost-based ordering in :func:`repro.exec.compile.order_body`.
+    Each iteration selects the minimum-score subgoal directly instead of
+    re-sorting the whole remaining list, so ordering is O(n²) comparisons
+    rather than O(n² log n).
+    """
     remaining = list(query.body)
     if not remaining:
         return []
@@ -103,8 +124,8 @@ def _order_subgoals(query: ConjunctiveQuery, database: Database) -> List[Atom]:
     ordered: List[Atom] = []
     bound: set = set()
     # Seed with the most selective subgoal (fewest tuples, most constants).
-    remaining.sort(key=lambda a: (relation_size(a), -len(a.constants())))
-    first = remaining.pop(0)
+    first = min(remaining, key=lambda a: (relation_size(a), -len(a.constants())))
+    remaining.remove(first)
     ordered.append(first)
     bound.update(first.variables())
     while remaining:
@@ -112,8 +133,8 @@ def _order_subgoals(query: ConjunctiveQuery, database: Database) -> List[Atom]:
             shared = sum(1 for v in atom.variables() if v in bound)
             return (-shared, relation_size(atom))
 
-        remaining.sort(key=score)
-        chosen = remaining.pop(0)
+        chosen = min(remaining, key=score)
+        remaining.remove(chosen)
         ordered.append(chosen)
         bound.update(chosen.variables())
     return ordered
@@ -211,22 +232,17 @@ def evaluate_substitutions(
     yield from extend(0, {})
 
 
-def evaluate(
-    query: "ConjunctiveQuery | UnionQuery",
+def evaluate_conjunctive_interpreted(
+    query: ConjunctiveQuery,
     database: Database,
     statistics: Optional[EvaluationStatistics] = None,
 ) -> FrozenSet[Tuple[Any, ...]]:
-    """Evaluate a query and return its set of answer tuples.
+    """Evaluate one conjunctive query with the backtracking interpreter.
 
-    For a union query, the result is the union of the disjuncts' answers.
+    This is the engine the compiled executor falls back to; use
+    :func:`evaluate` unless you specifically need the interpreter.
     """
     stats = statistics if statistics is not None else EvaluationStatistics()
-    if isinstance(query, UnionQuery):
-        answers: set = set()
-        for disjunct in query.disjuncts:
-            answers |= evaluate(disjunct, database, stats)
-        return frozenset(answers)
-
     results: set = set()
     for binding in evaluate_substitutions(query, database, stats):
         row = []
@@ -242,12 +258,41 @@ def evaluate(
     return frozenset(results)
 
 
+def evaluate(
+    query: "ConjunctiveQuery | UnionQuery",
+    database: Database,
+    statistics: Optional[EvaluationStatistics] = None,
+    executor: Optional[Any] = None,
+) -> FrozenSet[Tuple[Any, ...]]:
+    """Evaluate a query and return its set of answer tuples.
+
+    For a union query, the result is the union of the disjuncts' answers.
+
+    ``executor`` picks the execution engine: ``"compiled"`` (set-at-a-time
+    physical plans, the default), ``"interpreted"`` (the backtracking
+    interpreter), an executor instance (e.g. a session-owned
+    :class:`repro.exec.CompiledExecutor` with its own plan cache), or None
+    for the process-wide default (:func:`repro.exec.set_default_executor`).
+    Both engines return identical answer sets; the compiled engine falls
+    back to the interpreter per-disjunct for queries with function terms.
+    """
+    from repro.exec import resolve_executor  # deferred: repro.exec imports us
+
+    stats = statistics if statistics is not None else EvaluationStatistics()
+    return resolve_executor(executor).evaluate(query, database, stats)
+
+
 def evaluate_boolean(
     query: "ConjunctiveQuery | UnionQuery",
     database: Database,
     statistics: Optional[EvaluationStatistics] = None,
 ) -> bool:
-    """Whether the query has at least one answer over the database."""
+    """Whether the query has at least one answer over the database.
+
+    Always uses the interpreter: its lazy enumeration stops at the first
+    satisfying assignment, which the set-at-a-time engine (computing the
+    whole answer set) cannot beat for existence checks.
+    """
     if isinstance(query, UnionQuery):
         return any(evaluate_boolean(q, database, statistics) for q in query.disjuncts)
     for _ in evaluate_substitutions(query, database, statistics):
@@ -255,12 +300,15 @@ def evaluate_boolean(
     return False
 
 
-def materialize_views(views: Iterable, database: Database) -> Database:
+def materialize_views(
+    views: Iterable, database: Database, executor: Optional[Any] = None
+) -> Database:
     """Materialize a collection of views over a base database.
 
     Returns a new database with one relation per view, named after the view
     and containing the view's answers over ``database``.  This is the "view
-    instance" against which rewritings are evaluated.
+    instance" against which rewritings are evaluated.  Each definition is
+    evaluated through ``executor`` (default: the compiled engine).
     """
     from repro.datalog.views import View, ViewSet  # local import to avoid a cycle
 
@@ -268,7 +316,7 @@ def materialize_views(views: Iterable, database: Database) -> Database:
     for view in views:
         if not isinstance(view, View):
             raise EvaluationError(f"materialize_views expects View objects, got {view!r}")
-        answers = evaluate(view.definition, database)
+        answers = evaluate(view.definition, database, executor=executor)
         out.ensure_relation(view.name, view.arity)
         for row in answers:
             out.add_fact(view.name, row)

@@ -142,6 +142,7 @@ def _init_worker(
     cache_size: int,
     use_view_index: bool,
     with_answers: bool,
+    executor: str = "compiled",
 ) -> None:
     global _WORKER_SESSION, _WORKER_WITH_ANSWERS
     database = (
@@ -154,6 +155,7 @@ def _init_worker(
         mode=mode,
         cache_size=cache_size,
         use_view_index=use_view_index,
+        executor=executor,
     )
     _WORKER_WITH_ANSWERS = with_answers
 
@@ -182,12 +184,14 @@ def run_batch(
     use_view_index: bool = True,
     with_answers: bool = False,
     processes: int = 1,
+    executor: str = "compiled",
 ) -> BatchReport:
     """Process a workload of queries and report per-query and aggregate results.
 
     ``processes > 1`` fans the stream out over a :mod:`multiprocessing` pool
     (one session per worker).  If the pool cannot be created the batch falls
-    back to sequential processing rather than failing.
+    back to sequential processing rather than failing.  ``executor`` picks
+    the evaluation engine of every session (see :class:`RewritingSession`).
     """
     view_set = views if isinstance(views, ViewSet) else ViewSet(list(views))
     texts = [_as_query_text(q) for q in queries]
@@ -198,7 +202,7 @@ def run_batch(
     if processes > 1 and len(texts) > 1:
         report = _run_parallel(
             texts, view_set, database, algorithm, mode, cache_size,
-            use_view_index, with_answers, processes,
+            use_view_index, with_answers, processes, executor,
         )
         if report is not None:
             report.elapsed = time.perf_counter() - started
@@ -212,6 +216,7 @@ def run_batch(
         mode=mode,
         cache_size=cache_size,
         use_view_index=use_view_index,
+        executor=executor,
     )
     items = [
         _process_one(session, index, text, with_answers)
@@ -235,6 +240,7 @@ def _run_parallel(
     use_view_index: bool,
     with_answers: bool,
     processes: int,
+    executor: str = "compiled",
 ) -> Optional[BatchReport]:
     try:
         import multiprocessing
@@ -250,7 +256,7 @@ def _run_parallel(
             initializer=_init_worker,
             initargs=(
                 views_text, facts_text, algorithm, mode, cache_size,
-                use_view_index, with_answers,
+                use_view_index, with_answers, executor,
             ),
         ) as pool:
             raw = pool.map(_worker_run, list(enumerate(texts)))

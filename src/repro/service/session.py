@@ -17,6 +17,11 @@ own variables.  A repeated identical query therefore gets back exactly the
 result an uncached :func:`repro.rewriting.rewriter.rewrite` call would have
 produced, and an isomorphic variant gets the correctly renamed equivalent.
 
+Answering evaluates plans through a session-owned executor (the compiled
+set-at-a-time engine of :mod:`repro.exec` by default), so compiled physical
+plans are cached next to the rewriting caches and the disjuncts of a union
+rewriting share hash-join build sides on the materialized view relations.
+
 Data churn is handled at two granularities.  Mutating the database behind the
 session's back still triggers the coarse path: the version counter moves and
 the whole answer cache (plus the materialization) is flushed.  The fast path
@@ -42,6 +47,7 @@ from repro.datalog.views import View, ViewSet
 from repro.containment.containment import is_contained
 from repro.engine.database import Database
 from repro.engine.evaluate import evaluate
+from repro.exec import EXECUTORS, CompiledExecutor, InterpretedExecutor
 from repro.materialize.changelog import ChangeLog
 from repro.materialize.delta import Delta
 from repro.materialize.store import MaterializedViewStore
@@ -122,6 +128,13 @@ class RewritingSession:
         Bound of each LRU cache (0 disables caching).
     use_view_index:
         Consult a :class:`ViewRelevanceIndex` to prune views per request.
+    executor:
+        ``"compiled"`` (default) evaluates plans through a session-owned
+        :class:`repro.exec.CompiledExecutor`, so compiled physical plans are
+        cached alongside the rewriting caches and a union rewriting's many
+        disjuncts share their hash-join build sides (the indexes live on the
+        materialized view relations).  ``"interpreted"`` uses the
+        backtracking interpreter.
     """
 
     def __init__(
@@ -132,6 +145,7 @@ class RewritingSession:
         mode: str = "equivalent",
         cache_size: int = 512,
         use_view_index: bool = True,
+        executor: str = "compiled",
     ):
         if algorithm not in ALGORITHMS:
             raise RewritingError(
@@ -141,8 +155,16 @@ class RewritingSession:
             raise RewritingError(
                 f"unknown mode {mode!r}; expected one of {', '.join(MODES)}"
             )
+        if executor not in EXECUTORS:
+            raise RewritingError(
+                f"unknown executor {executor!r}; expected one of {', '.join(EXECUTORS)}"
+            )
         self.algorithm = algorithm
         self.mode = mode
+        self.executor = executor
+        self._executor = (
+            CompiledExecutor() if executor == "compiled" else InterpretedExecutor()
+        )
         self.use_view_index = use_view_index
         self._views: ViewSet = views if isinstance(views, ViewSet) else ViewSet(list(views))
         self._views_token = self._views.version_token()
@@ -404,11 +426,11 @@ class RewritingSession:
         assert self._database is not None
         best = result.best
         if best is not None and best.kind is RewritingKind.EQUIVALENT:
-            return evaluate(best.query, self._materialized_instance())
+            return evaluate(best.query, self._materialized_instance(), executor=self._executor)
         if best is not None and best.kind is RewritingKind.PARTIAL:
             merged = self._materialized_instance().merge(self._database)
-            return evaluate(best.query, merged)
-        return evaluate(query, self._database)
+            return evaluate(best.query, merged, executor=self._executor)
+        return evaluate(query, self._database, executor=self._executor)
 
     def _refresh_database_version(self) -> None:
         # The coarse path: an out-of-band mutation moved the version counter,
@@ -447,6 +469,7 @@ class RewritingSession:
         return {
             "algorithm": self.algorithm,
             "mode": self.mode,
+            "executor": self._executor.stats(),
             "requests": self.requests,
             "invalidations": self.invalidations,
             "views": len(self._views),

@@ -1,0 +1,130 @@
+"""Tests for plan compilation: admission, join ordering, operator shapes."""
+
+from repro.datalog.parser import parse_query
+from repro.datalog.queries import ConjunctiveQuery
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import FunctionTerm, Variable
+from repro.engine.database import Database
+from repro.exec.compile import is_compilable, order_body, try_compile
+
+
+def _db(**sizes):
+    db = Database()
+    for name, size in sizes.items():
+        db.ensure_relation(name, 2)
+        for i in range(size):
+            db.add_fact(name, (i, i + 1))
+    return db
+
+
+class TestAdmission:
+    def test_plain_queries_are_compilable(self):
+        assert is_compilable(parse_query("q(X, Z) :- r(X, Y), s(Y, Z), X < Z."))
+
+    def test_function_terms_in_body_are_rejected(self):
+        x = Variable("X")
+        query = ConjunctiveQuery(
+            Atom("q", [x]),
+            [Atom("r", [x, FunctionTerm("f", (x,))])],
+            require_safe=False,
+        )
+        assert not is_compilable(query)
+        assert try_compile(query, Database()) is None
+
+    def test_function_terms_in_head_are_rejected(self):
+        x = Variable("X")
+        query = ConjunctiveQuery(
+            Atom("q", [FunctionTerm("f", (x,))]),
+            [Atom("r", [x, x])],
+            require_safe=False,
+        )
+        assert not is_compilable(query)
+
+
+class TestJoinOrdering:
+    def test_smallest_restricted_subgoal_first(self):
+        db = _db(big=1000, small=5)
+        query = parse_query("q(X, Z) :- big(X, Y), small(Y, Z).")
+        ordered = order_body(query, db)
+        assert [a.predicate for a in ordered] == ["small", "big"]
+
+    def test_constants_make_a_big_relation_attractive(self):
+        db = Database()
+        db.ensure_relation("big", 2)
+        for i in range(1000):
+            db.add_fact("big", (i, i))  # 1000 distinct values per column
+        db.ensure_relation("mid", 2)
+        for i in range(50):
+            db.add_fact("mid", (i % 5, i))
+        # big restricted by a constant ~ 1 row; mid ~ 50 rows.
+        query = parse_query("q(Y, Z) :- mid(Y, Z), big(7, Y).")
+        ordered = order_body(query, db)
+        assert ordered[0].predicate == "big"
+
+    def test_connected_subgoals_preferred_over_smaller_cartesian(self):
+        db = _db(a=10, b=200, tiny=50)
+        # After seeding with a, the connected b must come before the
+        # disconnected tiny even though tiny is smaller: a cartesian product
+        # is deferred until nothing connected remains.
+        query = parse_query("q(X, Z, U) :- a(X, Y), b(Y, Z), tiny(U, U).")
+        ordered = order_body(query, db)
+        assert [atom.predicate for atom in ordered] == ["a", "b", "tiny"]
+
+    def test_order_covers_every_subgoal_exactly_once(self):
+        db = _db(r1=10, r2=20, r3=30)
+        query = parse_query("q(X, W) :- r1(X, Y), r2(Y, Z), r3(Z, W).")
+        ordered = order_body(query, db)
+        assert sorted(a.predicate for a in ordered) == ["r1", "r2", "r3"]
+
+
+class TestPlanShape:
+    def test_first_step_is_a_scan_then_hash_probes(self):
+        db = _db(r=10, s=10)
+        plan = try_compile(parse_query("q(X, Z) :- r(X, Y), s(Y, Z)."), db)
+        assert plan is not None
+        assert plan.steps[0].key_positions == ()  # scan
+        assert plan.steps[1].key_positions == (0,)  # probe on the join column
+        assert "hash-probe" in plan.explain()
+
+    def test_constants_join_the_index_key(self):
+        db = _db(r=10)
+        plan = try_compile(parse_query("q(X) :- r(X, 5)."), db)
+        assert plan is not None
+        assert plan.steps[0].key_positions == (1,)
+        assert plan.steps[0].key_sources == ((False, 5),)
+
+    def test_key_positions_are_sorted_for_index_sharing(self):
+        db = Database()
+        db.ensure_relation("t", 3)
+        db.add_fact("t", (1, 2, 3))
+        # Y is bound first by r; in t the bound positions are 2 then 0.
+        query = parse_query("q(X, Y) :- r(X, Y), t(Y, W, X).")
+        db.ensure_relation("r", 2)
+        db.add_fact("r", (3, 1))
+        plan = try_compile(query, db)
+        join = plan.steps[1]
+        assert join.key_positions == tuple(sorted(join.key_positions))
+
+    def test_repeated_variable_in_one_atom_becomes_eq_pair(self):
+        db = _db(r=10)
+        plan = try_compile(parse_query("q(X) :- r(X, X)."), db)
+        assert plan.steps[0].eq_pairs == ((0, 1),)
+
+    def test_ground_false_comparison_folds_to_empty_plan(self):
+        db = _db(r=10)
+        plan = try_compile(parse_query("q(X, Y) :- r(X, Y), 1 > 2."), db)
+        assert plan.always_empty
+        assert plan.execute(db) == frozenset()
+
+    def test_comparison_attached_at_earliest_binding_step(self):
+        db = _db(r=10, s=10)
+        plan = try_compile(parse_query("q(X, Z) :- r(X, Y), s(Y, Z), X < Y."), db)
+        # X and Y are both bound by the first subgoal in the pipeline order.
+        first_with_filter = next(i for i, s in enumerate(plan.steps) if s.filters)
+        assert first_with_filter == 0
+
+    def test_empty_body_plan_projects_constants(self):
+        db = Database()
+        plan = try_compile(parse_query("q(1, 2)."), db)
+        assert plan.steps == ()
+        assert plan.execute(db) == frozenset([(1, 2)])

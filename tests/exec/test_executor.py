@@ -1,0 +1,266 @@
+"""Tests for the compiled executor: equivalence, caching, fallback, sharing."""
+
+import random
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_query, parse_views
+from repro.datalog.queries import ConjunctiveQuery, UnionQuery
+from repro.datalog.terms import FunctionTerm, Variable
+from repro.engine.database import Database
+from repro.engine.evaluate import EvaluationStatistics, evaluate
+from repro.engine.relation import SkolemValue
+from repro.exec import (
+    CompiledExecutor,
+    InterpretedExecutor,
+    get_default_executor,
+    resolve_executor,
+    set_default_executor,
+)
+
+COMPILED = CompiledExecutor()
+INTERPRETED = InterpretedExecutor()
+
+
+def random_db(seed=0, size=200, domain=25):
+    rng = random.Random(seed)
+    db = Database()
+    for name in ("r", "s", "t"):
+        db.ensure_relation(name, 2)
+        for _ in range(size):
+            db.add_fact(name, (rng.randrange(domain), rng.randrange(domain)))
+    db.ensure_relation("u", 3)
+    for _ in range(size):
+        db.add_fact("u", tuple(rng.randrange(domain) for _ in range(3)))
+    return db
+
+
+def assert_engines_agree(query, db):
+    compiled = evaluate(query, db, executor=COMPILED)
+    interpreted = evaluate(query, db, executor=INTERPRETED)
+    assert compiled == interpreted
+    return compiled
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "q(X, Z) :- r(X, Y), s(Y, Z).",
+            "q(X, W) :- r(X, Y), s(Y, Z), t(Z, W).",
+            "q(X) :- r(X, X).",
+            "q(X, Y) :- r(X, Y), X < Y.",
+            "q(X, Y) :- r(X, Y), s(Y, 3).",
+            "q(X, Y, Z) :- u(X, Y, Z), X != Z.",
+            "q(X) :- u(X, X, Y), Y > 1.",
+            "q(X, Y) :- r(X, Y), t(Y, X).",
+            "q() :- r(X, Y), X = Y.",
+            "q(X, 7) :- r(X, Y).",
+            "q(X, Y) :- r(X, Y), s(A, B), A != B.",  # cartesian product
+            "q(X, Z) :- r(X, Y), s(Y, Z), r(X, 5).",
+            "q(X, Y) :- r(X, Y), 1 < 2.",  # ground-true comparison
+            "q(X, Y) :- r(X, Y), 2 < 1.",  # ground-false comparison
+            "q(A, B) :- u(A, B, B).",
+            "q(X) :- r(3, X).",
+        ],
+    )
+    def test_same_answers_as_interpreter(self, text):
+        assert_engines_agree(parse_query(text), random_db())
+
+    def test_union_queries_agree(self):
+        db = random_db(3)
+        union = UnionQuery(
+            [parse_query("q(X, Y) :- r(X, Y)."), parse_query("q(X, Y) :- s(X, Y), X < Y.")]
+        )
+        assert_engines_agree(union, db)
+
+    def test_empty_and_missing_relations(self):
+        db = Database()
+        db.ensure_relation("r", 2)  # present but empty
+        query = parse_query("q(X, Z) :- r(X, Y), missing(Y, Z).")
+        assert assert_engines_agree(query, db) == frozenset()
+
+    def test_skolem_values_in_data(self):
+        db = Database()
+        sk = SkolemValue("f", (1,))
+        db.add_fact("r", (1, sk))
+        db.add_fact("r", (1, 2))
+        db.add_fact("s", (sk, 3))
+        db.add_fact("s", (2, 3))
+        # Skolems join by identity but never satisfy order comparisons.
+        assert_engines_agree(parse_query("q(X, Z) :- r(X, Y), s(Y, Z)."), db)
+        assert_engines_agree(parse_query("q(X, Y) :- r(X, Y), Y < 100."), db)
+        assert_engines_agree(parse_query("q(X, Y) :- r(X, Y), Y != 2."), db)
+
+    def test_arity_mismatch_raises_in_both_engines(self):
+        db = Database.from_dict({"r": [(1, 2)]})
+        query = parse_query("q(X) :- r(X).")
+        for executor in (COMPILED, INTERPRETED):
+            with pytest.raises(EvaluationError):
+                evaluate(query, db, executor=executor)
+
+    def test_unbound_head_variable_raises_only_when_rows_exist(self):
+        # require_safe=False lets an unsafe head through; evaluation must
+        # raise only when an assignment actually reaches projection.
+        x, y = Variable("X"), Variable("Y")
+        query = ConjunctiveQuery(Atom("q", [y]), [Atom("r", [x, x])], require_safe=False)
+        empty = Database.from_dict({"r": [(1, 2)]})  # r(X, X) never matches
+        matching = Database.from_dict({"r": [(1, 1)]})
+        for executor in (COMPILED, INTERPRETED):
+            assert evaluate(query, empty, executor=executor) == frozenset()
+            with pytest.raises(EvaluationError):
+                evaluate(query, matching, executor=executor)
+
+    def test_statistics_counters_are_filled(self):
+        db = random_db(1)
+        stats = EvaluationStatistics()
+        evaluate(parse_query("q(X, Z) :- r(X, Y), s(Y, Z)."), db, stats, executor=COMPILED)
+        assert stats.probes > 0
+        assert stats.extensions > 0
+        assert stats.answers > 0
+        assert stats.subgoals == 2
+
+
+class TestFallback:
+    def test_function_terms_fall_back_to_interpreter(self):
+        executor = CompiledExecutor()
+        x = Variable("X")
+        query = ConjunctiveQuery(
+            Atom("q", [x, FunctionTerm("f", (x,))]),
+            [Atom("r", [x, x])],
+            require_safe=False,
+        )
+        db = Database.from_dict({"r": [(1, 1), (2, 2)]})
+        answers = executor.evaluate(query, db)
+        assert answers == frozenset(
+            {(1, SkolemValue("f", (1,))), (2, SkolemValue("f", (2,)))}
+        )
+        assert executor.fallbacks == 1
+
+
+class TestPlanCache:
+    def test_repeated_queries_hit_the_cache(self):
+        executor = CompiledExecutor()
+        db = random_db(2)
+        query = parse_query("q(X, Z) :- r(X, Y), s(Y, Z).")
+        executor.evaluate(query, db)
+        executor.evaluate(query, db)
+        assert executor.plan_hits == 1
+        assert executor.plan_misses == 1
+
+    def test_isomorphic_queries_share_a_plan(self):
+        executor = CompiledExecutor()
+        db = random_db(2)
+        executor.evaluate(parse_query("q(X, Z) :- r(X, Y), s(Y, Z)."), db)
+        executor.evaluate(parse_query("q(A, C) :- r(A, B), s(B, C)."), db)
+        assert executor.plan_hits == 1
+
+    def test_version_bump_recompiles(self):
+        executor = CompiledExecutor()
+        db = random_db(2)
+        query = parse_query("q(X, Z) :- r(X, Y), s(Y, Z).")
+        first = executor.evaluate(query, db)
+        db.add_fact("r", (999, 998))
+        db.add_fact("s", (998, 997))
+        second = executor.evaluate(query, db)
+        assert executor.plan_misses == 2
+        assert (999, 997) in second and (999, 997) not in first
+
+    def test_cache_is_bounded(self):
+        executor = CompiledExecutor(plan_cache_size=2)
+        db = random_db(2)
+        for name in ("a", "b", "c", "d"):
+            executor.evaluate(parse_query(f"{name}(X, Y) :- r(X, Y)."), db)
+        assert executor.stats()["plans_cached"] <= 2
+
+    def test_zero_cache_size_compiles_every_time(self):
+        executor = CompiledExecutor(plan_cache_size=0)
+        db = random_db(2)
+        query = parse_query("q(X, Y) :- r(X, Y).")
+        assert executor.evaluate(query, db) == evaluate(query, db, executor=INTERPRETED)
+        assert executor.stats()["plans_cached"] == 0
+
+    def test_unsupported_queries_cache_the_negative_result(self):
+        executor = CompiledExecutor()
+        x = Variable("X")
+        query = ConjunctiveQuery(
+            Atom("q", [x]),
+            [Atom("r", [x, FunctionTerm("f", (x,))])],
+            require_safe=False,
+        )
+        db = Database.from_dict({"r": [(1, SkolemValue("f", (1,)))]})
+        executor.evaluate(query, db)
+        executor.evaluate(query, db)
+        assert executor.fallbacks == 2
+        assert executor.plan_misses == 1
+        assert executor.plan_hits == 1
+
+
+class TestSharedBuildSides:
+    def test_union_disjuncts_share_relation_indexes(self):
+        """Disjuncts probing one view relation share its hash index build."""
+        db = Database()
+        for i in range(50):
+            db.add_fact("v", (i % 7, i))
+        union = UnionQuery(
+            [
+                parse_query("q(X, Y) :- v(X, Y), r(Y, X)."),
+                parse_query("q(X, Y) :- v(X, Y), s(Y, X)."),
+                parse_query("q(X, Y) :- v(X, Y), t(Y, X)."),
+            ]
+        )
+        for name in ("r", "s", "t"):
+            for i in range(20):
+                db.add_fact(name, (i, i % 7))
+        executor = CompiledExecutor()
+        executor.evaluate(union, db)
+        relation = db.relation("v")
+        # One shared index (plus at most the scan-side none): the three
+        # disjuncts did not build three separate join tables.
+        assert len(relation._indexes) <= 2
+
+
+class TestDefaultExecutor:
+    def test_default_is_compiled(self):
+        assert get_default_executor().name == "compiled"
+
+    def test_set_and_restore_default(self):
+        set_default_executor("interpreted")
+        try:
+            assert get_default_executor().name == "interpreted"
+        finally:
+            set_default_executor("compiled")
+        assert get_default_executor().name == "compiled"
+
+    def test_resolve_accepts_instances_and_rejects_junk(self):
+        executor = CompiledExecutor()
+        assert resolve_executor(executor) is executor
+        assert resolve_executor("interpreted").name == "interpreted"
+        with pytest.raises(EvaluationError):
+            resolve_executor("vectorized")
+        with pytest.raises(EvaluationError):
+            resolve_executor(42)
+
+    def test_evaluate_accepts_executor_names(self):
+        db = random_db(4)
+        query = parse_query("q(X, Y) :- r(X, Y), X < Y.")
+        assert evaluate(query, db, executor="compiled") == evaluate(
+            query, db, executor="interpreted"
+        )
+
+
+class TestMaterializeThroughExecutor:
+    def test_materialize_views_matches_interpreter(self):
+        from repro.engine.evaluate import materialize_views
+
+        db = random_db(5)
+        views = parse_views(
+            "v1(X, Z) :- r(X, Y), s(Y, Z).\n"
+            "v2(X) :- r(X, X).\n"
+            "v3(X, Y) :- t(X, Y), X < Y.\n"
+        )
+        compiled = materialize_views(views, db, executor=COMPILED)
+        interpreted = materialize_views(views, db, executor=INTERPRETED)
+        assert compiled == interpreted

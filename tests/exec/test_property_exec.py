@@ -1,0 +1,60 @@
+"""Property: the compiled executor and the interpreter agree on every query.
+
+Random small queries (optionally with comparison subgoals) over random small
+databases — the compiled engine's answer set, statistics-visible behaviors
+and error behaviors must match the interpreter's, which is the semantic
+ground truth.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.atoms import Comparison
+from repro.datalog.terms import Constant, Variable
+from repro.engine.evaluate import evaluate
+from repro.exec import CompiledExecutor, InterpretedExecutor
+
+from tests.property.strategies import conjunctive_queries, databases
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+COMPILED = CompiledExecutor()
+INTERPRETED = InterpretedExecutor()
+
+
+@st.composite
+def queries_with_comparisons(draw):
+    query = draw(conjunctive_queries())
+    body_vars = list(query.body_variables())
+    if not body_vars:
+        return query
+    operators = st.sampled_from(["<", "<=", "=", "!=", ">", ">="])
+    operands = st.one_of(
+        st.sampled_from(body_vars),
+        st.sampled_from([Constant(0), Constant(1), Constant(2)]),
+    )
+    count = draw(st.integers(min_value=0, max_value=2))
+    comparisons = [
+        Comparison(draw(operands), draw(operators), draw(operands)) for _ in range(count)
+    ]
+    return query.with_body(query.body, comparisons)
+
+
+class TestCompiledMatchesInterpreter:
+    @RELAXED
+    @given(query=conjunctive_queries(), database=databases())
+    def test_plain_queries_agree(self, query, database):
+        assert evaluate(query, database, executor=COMPILED) == evaluate(
+            query, database, executor=INTERPRETED
+        )
+
+    @RELAXED
+    @given(query=queries_with_comparisons(), database=databases())
+    def test_queries_with_comparisons_agree(self, query, database):
+        assert evaluate(query, database, executor=COMPILED) == evaluate(
+            query, database, executor=INTERPRETED
+        )

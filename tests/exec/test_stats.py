@@ -1,0 +1,71 @@
+"""Tests for the statistics snapshots feeding the plan compiler and cost model."""
+
+from repro.engine.database import Database
+from repro.exec.stats import DatabaseStatistics, statistics_for
+
+
+def _db():
+    return Database.from_dict(
+        {
+            "r": [(1, 2), (1, 3), (2, 3)],
+            "s": [(5,), (6,), (7,), (7,)],  # duplicate collapses: sets
+        }
+    )
+
+
+class TestDatabaseStatistics:
+    def test_cardinality(self):
+        stats = DatabaseStatistics(_db())
+        assert stats.cardinality("r") == 3
+        assert stats.cardinality("s") == 3
+        assert stats.cardinality("missing") == 0
+
+    def test_distinct_counts_per_position(self):
+        stats = DatabaseStatistics(_db())
+        assert stats.distinct("r", 0) == 2
+        assert stats.distinct("r", 1) == 2
+        assert stats.distinct("s", 0) == 3
+
+    def test_distinct_is_at_least_one(self):
+        stats = DatabaseStatistics(Database())
+        assert stats.distinct("missing", 0) == 1
+        assert stats.distinct("missing", 99) == 1
+
+    def test_selectivity_and_estimated_rows(self):
+        stats = DatabaseStatistics(_db())
+        assert stats.selectivity("r", 0) == 0.5
+        assert stats.estimated_rows("r", ()) == 3.0
+        assert stats.estimated_rows("r", (0,)) == 1.5
+        assert stats.estimated_rows("r", (0, 1)) == 0.75
+
+    def test_freshness_tracks_version(self):
+        db = _db()
+        stats = DatabaseStatistics(db)
+        assert stats.fresh
+        db.add_fact("r", (9, 9))
+        assert not stats.fresh
+
+
+class TestSnapshotSharing:
+    def test_snapshot_reused_while_version_stable(self):
+        db = _db()
+        assert statistics_for(db) is statistics_for(db)
+
+    def test_snapshot_replaced_after_mutation(self):
+        db = _db()
+        before = statistics_for(db)
+        assert before.distinct("r", 0) == 2
+        db.add_fact("r", (42, 42))
+        after = statistics_for(db)
+        assert after is not before
+        assert after.distinct("r", 0) == 3
+
+    def test_distinct_lazy_cache_is_per_snapshot(self):
+        db = _db()
+        stats = statistics_for(db)
+        assert stats.distinct("r", 0) == 2
+        # The cached value persists for the snapshot even as data changes
+        # under it; freshness is handled by snapshot replacement.
+        db.add_fact("r", (42, 42))
+        assert stats.distinct("r", 0) == 2
+        assert statistics_for(db).distinct("r", 0) == 3

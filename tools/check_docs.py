@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Documentation health checks: examples run, doctests pass, links resolve.
+
+Run from the repo root (CI's docs job does):
+
+    python tools/check_docs.py            # all three checks
+    python tools/check_docs.py links      # just one of: examples, doctests, links
+
+Checks
+------
+1. **examples** — every ``examples/*.py`` is executed as a subprocess with
+   ``PYTHONPATH=src``; a non-zero exit fails the check.
+2. **doctests** — every module under ``src/repro`` whose source contains a
+   ``>>>`` prompt is imported and run through :mod:`doctest`.
+3. **links** — every relative markdown link in ``README.md`` and
+   ``docs/*.md`` must point at an existing file or directory (external
+   ``http(s)``/``mailto`` links and pure ``#anchors`` are skipped).
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+#: ``[text](target)`` — good enough for our hand-written markdown; images
+#: (``![alt](target)``) match too, which is what we want.
+_LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+
+
+def check_examples() -> list:
+    """Smoke-run every example; returns a list of error strings."""
+    errors = []
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    examples = sorted((REPO_ROOT / "examples").glob("*.py"))
+    if not examples:
+        return ["no files found in examples/"]
+    for path in examples:
+        result = subprocess.run(
+            [sys.executable, str(path)],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        status = "ok" if result.returncode == 0 else f"exit {result.returncode}"
+        print(f"  example {path.relative_to(REPO_ROOT)}: {status}")
+        if result.returncode != 0:
+            tail = (result.stderr or result.stdout).strip().splitlines()[-8:]
+            errors.append(
+                f"{path.relative_to(REPO_ROOT)} failed ({result.returncode}):\n    "
+                + "\n    ".join(tail)
+            )
+    return errors
+
+
+def check_doctests() -> list:
+    """Run doctest over every repro module containing a ``>>>`` prompt."""
+    errors = []
+    sys.path.insert(0, str(SRC))
+    attempted = 0
+    for path in sorted(SRC.rglob("*.py")):
+        if ">>>" not in path.read_text():
+            continue
+        module_name = ".".join(path.relative_to(SRC).with_suffix("").parts)
+        if module_name.endswith(".__init__"):
+            module_name = module_name[: -len(".__init__")]
+        try:
+            module = importlib.import_module(module_name)
+        except Exception as error:  # pragma: no cover - import errors are bugs
+            errors.append(f"{module_name}: import failed: {error}")
+            continue
+        results = doctest.testmod(module, verbose=False)
+        attempted += results.attempted
+        print(f"  doctest {module_name}: {results.attempted} examples, "
+              f"{results.failed} failures")
+        if results.failed:
+            errors.append(f"{module_name}: {results.failed} doctest failure(s)")
+    if attempted == 0:
+        errors.append("no doctest examples found anywhere under src/repro")
+    return errors
+
+
+def check_links() -> list:
+    """Resolve every relative link in README.md and docs/*.md."""
+    errors = []
+    documents = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    checked = 0
+    for document in documents:
+        if not document.exists():
+            errors.append(f"missing document: {document.relative_to(REPO_ROOT)}")
+            continue
+        for target in _LINK.findall(document.read_text()):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # pure #anchor
+                continue
+            resolved = (document.parent / path_part).resolve()
+            checked += 1
+            if not resolved.exists():
+                errors.append(
+                    f"{document.relative_to(REPO_ROOT)}: broken link -> {target}"
+                )
+        print(f"  links {document.relative_to(REPO_ROOT)}: checked")
+    if checked == 0:
+        errors.append("no relative links found — is the link regex broken?")
+    return errors
+
+
+CHECKS = {
+    "examples": check_examples,
+    "doctests": check_doctests,
+    "links": check_links,
+}
+
+
+def main(argv) -> int:
+    names = argv[1:] or list(CHECKS)
+    failures = []
+    for name in names:
+        check = CHECKS.get(name)
+        if check is None:
+            print(f"unknown check {name!r}; choose from {', '.join(CHECKS)}")
+            return 2
+        print(f"== {name}")
+        failures.extend(check())
+    if failures:
+        print("\nFAILURES:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nall documentation checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
