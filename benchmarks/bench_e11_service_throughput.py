@@ -22,8 +22,8 @@ from repro.datalog.substitution import Substitution
 from repro.datalog.terms import Variable
 from repro.engine.database import Database
 from repro.engine.evaluate import evaluate, materialize_views
+from repro.api import connect
 from repro.rewriting.rewriter import rewrite
-from repro.service.session import RewritingSession
 from repro.workloads.generators import chain_query, chain_views, star_query, star_views
 
 REQUESTS = 60
@@ -76,7 +76,10 @@ def _measure(workload_name, query, views):
     cold_results = [rewrite(request, views, algorithm="minicon") for request in requests]
     cold_elapsed = time.perf_counter() - started
 
-    session = RewritingSession(views, algorithm="minicon")
+    # Sessions are opened through the repro.api facade (the supported
+    # front door); the measured loops run on the session object itself,
+    # exactly as before.
+    session = connect(views=views, algorithm="minicon").session
     started = time.perf_counter()
     warm_results = [session.rewrite_cached(request) for request in requests]
     warm_elapsed = time.perf_counter() - started
@@ -85,7 +88,7 @@ def _measure(workload_name, query, views):
     # byte-identical to both the miss and a plain uncached rewrite() call.
     # (Plans for *different* isomorphic variants legitimately differ in
     # subgoal order; the answer check below covers those.)
-    repeat_session = RewritingSession(views, algorithm="minicon")
+    repeat_session = connect(views=views, algorithm="minicon").session
     uncached_plans = [str(r.query) for r in rewrite(requests[0], views, "minicon").rewritings]
     miss_plans = [str(r.query) for r in repeat_session.rewrite_cached(requests[0]).rewritings]
     hit_plans = [str(r.query) for r in repeat_session.rewrite_cached(requests[0]).rewritings]
@@ -101,7 +104,7 @@ def _measure(workload_name, query, views):
 
     # Correctness: cached answers equal answers through the uncached plan.
     database = _database_for(requests[0])
-    answer_session = RewritingSession(views, database=database, algorithm="minicon")
+    answer_session = connect(views=views, data=database, algorithm="minicon").session
     instance = materialize_views(views, database)
     answer_mismatches = 0
     for request in requests[:10]:

@@ -24,7 +24,7 @@ from pathlib import Path
 
 from repro.datalog.parser import parse_query
 from repro.engine.evaluate import evaluate
-from repro.exec import CompiledExecutor, InterpretedExecutor
+from repro.api import connect
 from repro.workloads.data import (
     random_chain_database,
     random_database,
@@ -109,8 +109,10 @@ def _measure(name, database, queries, compiled, interpreted):
 
 
 def _run_all():
-    compiled = CompiledExecutor()
-    interpreted = InterpretedExecutor()
+    # Executors are obtained through the repro.api facade; the measured
+    # evaluation loops are unchanged.
+    compiled = connect(executor="compiled").session.evaluation_executor
+    interpreted = connect(executor="interpreted").session.evaluation_executor
     rows = [
         _measure(name, database, queries, compiled, interpreted)
         for name, database, queries in _workloads()

@@ -10,31 +10,36 @@ test doing the case analysis that no single containment mapping can.
 Run with:  python examples/comparison_predicates.py
 """
 
-from repro import (
-    Database,
-    evaluate,
-    is_contained,
-    is_equivalent,
-    materialize_views,
-    parse_query,
-    parse_views,
-    rewrite,
-)
+import repro
+from repro import is_contained, is_equivalent, parse_query
 
 
 def main() -> None:
     # Employees with a salary above 100k, and views with assorted filters.
-    query = parse_query("q(E, S) :- emp(E, D, S), dept(D, 'research'), S > 100.")
-    views = parse_views(
-        """
+    # The engine owns the views and the data; the containment asides below
+    # use the lower-level API directly.
+    engine = repro.connect(
+        views="""
         v_high_paid(E, D, S) :- emp(E, D, S), S > 50.
         v_very_high(E, D, S) :- emp(E, D, S), S > 200.
         v_research(D) :- dept(D, 'research').
-        """
+        """,
+        data={
+            "emp": [
+                ("ann", "d1", 120),
+                ("bob", "d1", 90),
+                ("eve", "d2", 300),
+                ("joe", "d1", 210),
+            ],
+            "dept": [("d1", "research"), ("d2", "sales")],
+        },
+    )
+    prepared = engine.query(
+        "q(E, S) :- emp(E, D, S), dept(D, 'research'), S > 100."
     )
 
-    print("Query:", query)
-    for view in views:
+    print("Query:", prepared.query)
+    for view in engine.views:
         print("View :", view)
     print()
 
@@ -52,12 +57,13 @@ def main() -> None:
     print()
 
     # --- rewriting ---------------------------------------------------------------
-    result = rewrite(query, views, algorithm="minicon", mode="equivalent")
+    result = prepared.rewrite()
     print("Equivalent rewriting found?", result.has_equivalent)
     best = result.best
     print("Rewriting :", best.query)
     print("Expansion :", best.expansion)
-    print("Expansion equivalent to query?", is_equivalent(best.expansion, query))
+    print("Expansion equivalent to query?",
+          is_equivalent(best.expansion, prepared.query))
     print("Uses views:", ", ".join(best.views_used))
     print()
 
@@ -65,20 +71,11 @@ def main() -> None:
     assert "v_very_high" not in best.views_used
 
     # --- execute over data -----------------------------------------------------
-    database = Database.from_dict(
-        {
-            "emp": [
-                ("ann", "d1", 120),
-                ("bob", "d1", 90),
-                ("eve", "d2", 300),
-                ("joe", "d1", 210),
-            ],
-            "dept": [("d1", "research"), ("d2", "sales")],
-        }
-    )
-    instance = materialize_views(views, database)
-    print("Direct answers   :", sorted(evaluate(query, database)))
-    print("Rewritten answers:", sorted(evaluate(best.query, instance)))
+    answer = prepared.answers()
+    print("Answers          :", answer.sorted_rows())
+    print("Computed from    :", answer.provenance.source,
+          "via", answer.provenance.rewriting)
+    assert answer.rows == repro.evaluate(prepared.query, engine.database)
 
 
 if __name__ == "__main__":

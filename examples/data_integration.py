@@ -16,17 +16,16 @@ the certain answers from whatever the sources return.  The example
 Run with:  python examples/data_integration.py
 """
 
-from repro import (
-    certain_answers,
-    evaluate,
-    materialize_views,
-    maximally_contained_rewriting,
-    parse_query,
-    parse_views,
-    rewrite,
-)
+import repro
+from repro import materialize_views, maximally_contained_rewriting, parse_query, parse_views
 from repro.rewriting.inverse_rules import inverse_rules_program
 from repro.workloads.schemas import paper_example
+
+SOURCES = """
+src_mutual(A, B) :- cites(A, B), cites(B, A).
+src_topic(A, B) :- same_topic(A, B).
+src_chain(A, B) :- cites(A, C), cites(C, B), same_topic(A, C).
+"""
 
 
 def main() -> None:
@@ -35,13 +34,7 @@ def main() -> None:
     query = parse_query(
         "q(X, Y) :- cites(X, Z), cites(Z, Y), same_topic(X, Y)."
     )
-    sources = parse_views(
-        """
-        src_mutual(A, B) :- cites(A, B), cites(B, A).
-        src_topic(A, B) :- same_topic(A, B).
-        src_chain(A, B) :- cites(A, C), cites(C, B), same_topic(A, C).
-        """
-    )
+    sources = parse_views(SOURCES)
 
     print("User query          :", query)
     print("Source descriptions :")
@@ -50,7 +43,8 @@ def main() -> None:
     print()
 
     # --- no equivalent rewriting exists --------------------------------------
-    equivalent = rewrite(query, sources, algorithm="minicon", mode="equivalent")
+    mediator = repro.connect(views=sources)
+    equivalent = mediator.query(query).rewrite()
     print("Equivalent rewriting over the sources?", equivalent.has_equivalent)
 
     # --- maximally-contained rewriting ---------------------------------------
@@ -68,15 +62,16 @@ def main() -> None:
 
     # --- certain answers over a concrete instance ------------------------------
     # The "true" database lives only at the sources' side; the mediator sees
-    # just the materialized source relations.
+    # just the materialized source relations — exactly what
+    # connect(view_instance=...) models.
     scenario = paper_example()
     hidden_database = scenario.make_database(40, seed=11)
-    hidden_database = hidden_database.rename_relation("same_topic", "same_topic")
     source_instance = materialize_views(sources, hidden_database)
+    mediator = repro.connect(views=sources, view_instance=source_instance)
 
-    by_rewriting = certain_answers(query, sources, source_instance, method="rewriting")
-    by_inverse = certain_answers(query, sources, source_instance, method="inverse-rules")
-    truth = evaluate(query, hidden_database)
+    by_rewriting = mediator.query(query).certain(method="rewriting").rows
+    by_inverse = mediator.query(query).certain(method="inverse-rules").rows
+    truth = repro.evaluate(query, hidden_database)
 
     print("\nCertain answers (rewriting)     :", len(by_rewriting))
     print("Certain answers (inverse rules) :", len(by_inverse))

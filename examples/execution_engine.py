@@ -4,9 +4,10 @@
 The paper's query-optimization argument only lands if executing rewritings
 is cheap.  This example
 
-1. builds a chain database and query,
-2. compiles the query into a physical plan and prints it (`explain`),
-3. evaluates it through both engines and checks they agree,
+1. opens two engines over a chain database and query — one compiled, one
+   interpreted — through ``repro.connect(executor=...)``,
+2. prints the physical plan through ``engine.query(...).explain()``,
+3. checks both engines agree on the answers,
 4. times both engines to show the set-at-a-time speedup, and
 5. shows the plan cache serving a repeated (isomorphic) query.
 
@@ -15,14 +16,16 @@ Run with:  python examples/execution_engine.py
 
 import time
 
+import repro
 from repro import evaluate, parse_query
-from repro.exec import CompiledExecutor, InterpretedExecutor, statistics_for, try_compile
+from repro.exec import CompiledExecutor, InterpretedExecutor, statistics_for
 from repro.workloads.data import random_chain_database
 
 
 def main() -> None:
     database = random_chain_database(4, tuples_per_relation=800, domain_size=150, seed=7)
     query = parse_query("q(X0, X4) :- r1(X0, X1), r2(X1, X2), r3(X2, X3), r4(X3, X4).")
+    engine = repro.connect(data=database, executor="compiled")
 
     # -- statistics drive the join order ------------------------------------
     stats = statistics_for(database)
@@ -34,18 +37,18 @@ def main() -> None:
         )
 
     # -- the compiled physical plan ----------------------------------------
-    plan = try_compile(query, database)
-    assert plan is not None
+    explanation = engine.query(query).explain()
     print()
-    print(plan.explain())
+    print(explanation.to_text())
+    assert explanation.evaluation.plans[0].strategy == "compiled"
 
     # -- both engines agree -------------------------------------------------
+    compiled = engine.query(query).answers()
+    interpreted = repro.connect(data=database, executor="interpreted").query(query).answers()
+    assert compiled.rows == interpreted.rows
+    print(f"\nboth engines return {len(compiled)} answers")
     compiled_executor = CompiledExecutor()
     interpreted_executor = InterpretedExecutor()
-    compiled = evaluate(query, database, executor=compiled_executor)
-    interpreted = evaluate(query, database, executor=interpreted_executor)
-    assert compiled == interpreted
-    print(f"\nboth engines return {len(compiled)} answers")
 
     # -- the speedup ---------------------------------------------------------
     rounds = 3

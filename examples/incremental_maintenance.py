@@ -1,55 +1,47 @@
 #!/usr/bin/env python3
-"""Materialized views that survive data churn.
+"""Materialized views that survive data churn — through the engine.
 
-PR 1's serving layer invalidated its caches with a whole-database version
-counter: one inserted tuple flushed every cached answer and threw away every
-materialized view extent.  This example walks through the materialization
-subsystem (:mod:`repro.materialize`) that fixes that:
+An engine's materialized extents are maintained *incrementally*: applying a
+delta adjusts per-row derivation counts instead of recomputing extents, which
+makes deletions exact, and the change log scopes cache invalidation to the
+predicates actually touched:
 
-1. a :class:`MaterializedViewStore` computes view extents over a base
-   database and tracks *derivation counts* per output row;
-2. a :class:`Delta` batches insertions and deletions; applying it maintains
-   the extents incrementally with the counting delta rules — deletions
-   included — and reports exactly which predicates and views changed;
-3. :meth:`RewritingSession.apply_delta` uses that change log for
-   *delta-scoped* cache invalidation: cached answers for untouched
-   predicates survive the churn.
+1. ``repro.connect`` materializes the views; the store underneath tracks
+   *derivation counts* per output row;
+2. ``engine.apply`` batches insertions and deletions; the counting delta
+   rules maintain the extents — deletions included — and the returned
+   :class:`ChangeLog` reports exactly which predicates and views changed;
+3. cached answers for untouched predicates survive the churn (delta-scoped
+   invalidation, not a whole-cache flush).
 
 Run with:  python examples/incremental_maintenance.py
 """
 
-from repro import (
-    Database,
-    Delta,
-    MaterializedViewStore,
-    RewritingSession,
-    parse_query,
-    parse_views,
-)
+import repro
+
+VIEWS = """
+v_route(A, C) :- flight(A, B), flight(B, C).
+v_cheap(A, B) :- fare(A, B, P), P < 100.
+v_hotel(C, H) :- hotel(C, H).
+"""
 
 
 def main() -> None:
-    views = parse_views(
-        """
-        v_route(A, C) :- flight(A, B), flight(B, C).
-        v_cheap(A, B) :- fare(A, B, P), P < 100.
-        v_hotel(C, H) :- hotel(C, H).
-        """
-    )
-    database = Database.from_dict(
-        {
+    engine = repro.connect(
+        views=VIEWS,
+        data={
             "flight": [("sfo", "ord"), ("ord", "jfk"), ("sfo", "den"), ("den", "jfk")],
             "fare": [("sfo", "ord", 120), ("sfo", "den", 80), ("den", "jfk", 95)],
             "hotel": [("jfk", "plaza"), ("ord", "hilton")],
-        }
+        },
     )
 
     # -- 1. materialize, with derivation counts ------------------------------
-    store = MaterializedViewStore(views, database)
     print("initial extents:")
-    for view in views:
-        print(f"  {view.name}: {sorted(store.extent(view.name))}")
+    for view in engine.views:
+        print(f"  {view.name}: {sorted(engine.extent(view.name))}")
     # sfo->jfk is derivable through ord AND den: two derivations, one row.
+    store = engine.session.store()
     print("derivations of v_route(sfo, jfk):",
           store.derivation_count("v_route", ("sfo", "jfk")))
 
@@ -57,41 +49,42 @@ def main() -> None:
     # Dropping sfo->ord kills one derivation of (sfo, jfk); the row SURVIVES
     # because the den route still supports it.  Naive insert-only maintenance
     # (or deleting any matching row) would get this wrong.
-    log = store.apply_delta(Delta.deletion("flight", [("sfo", "ord")]))
+    log = engine.apply("- flight(sfo, ord).")
     print("\nafter deleting flight(sfo, ord):", log)
-    print("v_route:", sorted(store.extent("v_route")))
+    print("v_route:", sorted(engine.extent("v_route")))
     print("derivations of v_route(sfo, jfk):",
           store.derivation_count("v_route", ("sfo", "jfk")))
 
     # Deleting the den leg too removes the last derivation -> row disappears.
-    log = store.apply_delta(Delta.deletion("flight", [("sfo", "den")]))
+    log = engine.apply(repro.Delta.deletion("flight", [("sfo", "den")]))
     print("after deleting flight(sfo, den):", log)
-    print("v_route:", sorted(store.extent("v_route")))
+    print("v_route:", sorted(engine.extent("v_route")))
+    assert engine.verify() == []  # maintained extents equal recomputation
 
-    # -- 3. delta-scoped cache invalidation in the serving layer --------------
-    session = RewritingSession(views, database=Database.from_dict(
-        {
+    # -- 3. delta-scoped cache invalidation ----------------------------------
+    served = repro.connect(
+        views=VIEWS,
+        data={
             "flight": [("sfo", "ord"), ("ord", "jfk")],
             "hotel": [("jfk", "plaza")],
-        }
-    ))
-    q_route = parse_query("q(A, C) :- flight(A, B), flight(B, C).")
-    q_hotel = parse_query("qh(C, H) :- hotel(C, H).")
-    session.answer(q_route)
-    session.answer(q_hotel)
+        },
+    )
+    q_route = served.query("q(A, C) :- flight(A, B), flight(B, C).")
+    q_hotel = served.query("qh(C, H) :- hotel(C, H).")
+    q_route.answers()
+    q_hotel.answers()
 
     # The delta touches only `flight`: the hotel entry must survive.
-    log = session.apply_delta(Delta.insertion("flight", [("jfk", "bos")]))
+    log = served.apply("+ flight(jfk, bos).")
     print("\nservice delta log:", log)
     print("affected predicates:", sorted(log.affected_predicates()))
-    session.answer(q_hotel)
-    print("hotel query after churn -> cache hit:", session.last_cache_hit)
-    session.answer(q_route)
-    print("route query after churn -> cache hit:", session.last_cache_hit,
-          "(evicted, recomputed fresh)")
-    print("answers:", sorted(session.answer(q_route)))
+    print("hotel query after churn -> served from answer cache:",
+          q_hotel.answers().provenance.answered_from_cache)
+    route_answer = q_route.answers()
+    print("route query answers (evicted, recomputed fresh):",
+          route_answer.sorted_rows())
 
-    stats = session.stats()
+    stats = served.stats()["session"]
     print("\nsession stats: retained", stats["delta_retained"],
           "evicted", stats["delta_evictions"],
           "| store:", stats["store"]["views_maintained"], "views maintained,",

@@ -15,16 +15,8 @@ relations.  The example
 Run with:  python examples/query_optimization.py
 """
 
-from repro import (
-    evaluate,
-    materialize_views,
-    measured_cost,
-    minimize,
-    parse_query,
-    parse_views,
-    rewrite,
-    view_is_useful,
-)
+import repro
+from repro import evaluate, materialize_views, measured_cost, minimize, view_is_useful
 from repro.experiments.tables import format_table
 from repro.workloads.schemas import enterprise_schema
 
@@ -46,15 +38,20 @@ def main() -> None:
         view_instance = materialize_views(views, database).merge(database)
 
         original_cost, _ = measured_cost(query, database)
-        direct_answers = evaluate(query, database)
+
+        # Two engines over the same catalog and data: one hunting complete
+        # (view-only) rewritings, one allowed to keep base relations.
+        complete_engine = repro.connect(views=views, data=database)
+        partial_engine = repro.connect(views=views, data=database, mode="partial")
+        direct_answers = complete_engine.query(query).answers().rows
 
         plans = []
-        complete = rewrite(query, views, algorithm="minicon").best
+        complete = complete_engine.query(query).rewrite().best
         if complete is not None:
             plans.append(("complete", complete))
-        partial_result = rewrite(query, views, mode="partial")
-        if partial_result.best is not None:
-            plans.append(("partial", partial_result.best))
+        partial = partial_engine.query(query).rewrite().best
+        if partial is not None:
+            plans.append(("partial", partial))
 
         for label, plan in plans:
             # MiniCon plans may carry redundant view atoms; minimizing the

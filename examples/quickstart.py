@@ -1,59 +1,70 @@
 #!/usr/bin/env python3
-"""Quickstart: rewrite a conjunctive query using materialized views.
+"""Quickstart: answer a query using materialized views through ``repro.connect``.
 
 The scenario is the paper's motivating one: a query must be answered, but the
 base relations are expensive (or unavailable) and a set of materialized views
 is at hand.  The example
 
-1. defines a query and three views in datalog syntax,
-2. asks each rewriting algorithm for an equivalent rewriting,
-3. verifies the rewriting by expanding it back to the base schema, and
-4. executes both the original query and the rewriting on a small database to
-   show they return identical answers.
+1. opens an engine over a query, three views and a small database,
+2. asks for answers — the engine rewrites the query over the views, compiles
+   a physical plan, and reports the *provenance* of what it did,
+3. explains the decision tree (rewriting choice → plan steps → caches),
+4. shows the same rewriting through each algorithm via the supported
+   lower-level API, verifying the rewriting by expansion.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import (
-    Database,
-    evaluate,
-    expand_rewriting,
-    is_equivalent,
-    materialize_views,
-    parse_query,
-    parse_views,
-    rewrite,
+import repro
+from repro import expand_rewriting, is_equivalent, rewrite
+
+VIEWS = """
+v_enrolled_taught(S, C, P) :- enrolled(S, C), teaches(P, C).
+v_advises(P, S) :- advises(P, S).
+v_course_only(C) :- teaches(P, C).
+"""
+
+QUERY = (
+    "q(Student, Course) :- enrolled(Student, Course), "
+    "teaches(Prof, Course), advises(Prof, Student)."
 )
 
 
 def main() -> None:
     # A query over a tiny university schema: students enrolled in a course
-    # taught by their own advisor.
-    query = parse_query(
-        "q(Student, Course) :- enrolled(Student, Course), "
-        "teaches(Prof, Course), advises(Prof, Student)."
+    # taught by their own advisor.  One connect() call validates the catalog
+    # and attaches the data.
+    engine = repro.connect(
+        views=VIEWS,
+        data={
+            "enrolled": [("ann", "db"), ("bob", "db"), ("ann", "ai"), ("eve", "ai")],
+            "teaches": [("smith", "db"), ("jones", "ai")],
+            "advises": [("smith", "ann"), ("jones", "eve"), ("smith", "bob")],
+        },
     )
-
-    # Materialized views: the enrollment-teaching join, the advising relation,
-    # and a view that is *not* usable (it hides the professor).
-    views = parse_views(
-        """
-        v_enrolled_taught(S, C, P) :- enrolled(S, C), teaches(P, C).
-        v_advises(P, S) :- advises(P, S).
-        v_course_only(C) :- teaches(P, C).
-        """
-    )
-
+    prepared = engine.query(QUERY)
     print("Query:")
-    print(f"  {query}")
+    print(f"  {prepared.query}")
     print("Views:")
-    for view in views:
+    for view in engine.views:
         print(f"  {view}")
     print()
 
-    # --- find rewritings with each algorithm --------------------------------
+    # --- answers with provenance --------------------------------------------
+    answer = prepared.answers()
+    print("Answers:", answer.sorted_rows())
+    print(f"  computed from : {answer.provenance.source}")
+    print(f"  via rewriting : {answer.provenance.rewriting}")
+    print(f"  views used    : {', '.join(answer.provenance.views_used)}")
+    print()
+
+    # --- the full decision tree ---------------------------------------------
+    print(prepared.explain().to_text())
+    print()
+
+    # --- each algorithm, through the supported lower-level API --------------
     for algorithm in ("exhaustive", "bucket", "minicon"):
-        result = rewrite(query, views, algorithm=algorithm, mode="equivalent")
+        result = rewrite(prepared.query, engine.views, algorithm=algorithm)
         print(f"[{algorithm}] examined {result.candidates_examined} candidates "
               f"in {result.elapsed * 1000:.1f} ms")
         if not result.has_equivalent:
@@ -61,28 +72,13 @@ def main() -> None:
             continue
         best = result.best
         print(f"  best rewriting : {best.query}")
-        expansion = expand_rewriting(best.query, views)
-        print(f"  its expansion  : {expansion}")
-        print(f"  equivalent to the query? {is_equivalent(expansion, query)}")
-        print()
+        expansion = expand_rewriting(best.query, engine.views)
+        print(f"  equivalent to the query? {is_equivalent(expansion, prepared.query)}")
+    print()
 
-    # --- run the plans over a concrete database -----------------------------
-    database = Database.from_dict(
-        {
-            "enrolled": [("ann", "db"), ("bob", "db"), ("ann", "ai"), ("eve", "ai")],
-            "teaches": [("smith", "db"), ("jones", "ai")],
-            "advises": [("smith", "ann"), ("jones", "eve"), ("smith", "bob")],
-        }
-    )
-    view_instance = materialize_views(views, database)
-
-    best = rewrite(query, views, algorithm="minicon").best
-    direct_answers = evaluate(query, database)
-    rewritten_answers = evaluate(best.query, view_instance)
-
-    print("Answers from the base database :", sorted(direct_answers))
-    print("Answers from the views only    :", sorted(rewritten_answers))
-    print("Identical?", direct_answers == rewritten_answers)
+    # --- the facade's answers equal direct evaluation -----------------------
+    direct = repro.evaluate(prepared.query, engine.database)
+    print("Facade answers equal direct evaluation?", answer.rows == direct)
 
 
 if __name__ == "__main__":

@@ -1,51 +1,43 @@
 #!/usr/bin/env python3
-"""Serving query traffic with a RewritingSession.
+"""Serving query traffic through one engine.
 
-The quickstart example calls :func:`repro.rewrite` once per query — fine for
-experiments, wasteful for traffic: every call re-canonicalizes the query,
-rescans every view and re-verifies every candidate.  This example shows the
-serving layer (:mod:`repro.service`) doing the same work once and amortizing
-it across requests:
+The quickstart example asks one engine one question.  This example shows the
+same engine amortizing work across *traffic*: repeated queries — including
+isomorphic variants with different variable names and subgoal orders — are
+served from the fingerprint cache, answers are evaluated through cached
+rewritings over materialized views, and a whole workload is replayed through
+``engine.batch()``:
 
-1. a :class:`RewritingSession` owns the views, a database, a view-relevance
-   index and bounded LRU caches;
-2. repeated queries — including *isomorphic* variants with different variable
-   names and subgoal orders — are served from the fingerprint cache;
-3. ``answer()`` evaluates through the cached equivalent rewriting over
-   materialized views, and invalidates automatically when the database
-   changes;
-4. ``run_batch()`` replays a whole workload and reports throughput.
+1. ``repro.connect()`` opens the engine (views + data, caches, view index);
+2. three phrasings of one query cost one rewriting computation;
+3. ``apply()`` maintains the view extents incrementally and keeps answers
+   correct; mutating the database behind the engine's back still works (the
+   version counter forces a coarse refresh);
+4. ``batch()`` replays a workload and reports throughput;
+5. ``stats()`` exposes catalog, caches, store and executor state.
 
 Run with:  python examples/service_sessions.py
 """
 
-from repro import (
-    Database,
-    RewritingSession,
-    evaluate,
-    parse_query,
-    parse_views,
-    run_batch,
-)
+import repro
+
+VIEWS = """
+v_enrolled_taught(S, C, P) :- enrolled(S, C), teaches(P, C).
+v_advises(P, S) :- advises(P, S).
+v_grades(S, C, G) :- grade(S, C, G).
+"""
 
 
 def main() -> None:
-    views = parse_views(
-        """
-        v_enrolled_taught(S, C, P) :- enrolled(S, C), teaches(P, C).
-        v_advises(P, S) :- advises(P, S).
-        v_grades(S, C, G) :- grade(S, C, G).
-        """
-    )
-    database = Database.from_dict(
-        {
+    engine = repro.connect(
+        views=VIEWS,
+        data={
             "enrolled": [("ann", "db"), ("bob", "db"), ("ann", "ai"), ("eve", "ai")],
             "teaches": [("smith", "db"), ("jones", "ai")],
             "advises": [("smith", "ann"), ("jones", "eve"), ("smith", "bob")],
-        }
+            "grade": [("ann", "db", "a")],
+        },
     )
-
-    session = RewritingSession(views, database=database, algorithm="minicon")
 
     # -- the same query, phrased three different ways ------------------------
     requests = [
@@ -56,37 +48,45 @@ def main() -> None:
         "q(A, B) :- teaches(T, B), advises(T, A), enrolled(A, B).",
     ]
     for text in requests:
-        query = parse_query(text)
-        result = session.rewrite_cached(query)
-        tag = "cache hit " if session.last_cache_hit else "cache miss"
+        result = engine.query(text).rewrite()
+        tag = "cache hit " if engine.last_cache_hit else "cache miss"
         print(f"[{tag}] best plan: {result.best.query}")
     print()
 
     # -- answers come from the views, stay correct under updates --------------
-    query = parse_query(requests[0])
-    print("answers:", sorted(session.answer(query)))
-    database.add_fact("enrolled", ("eve", "db"))   # bumps the version counter
-    database.add_fact("advises", ("smith", "eve"))
-    print("after insert:", sorted(session.answer(query)))
-    assert session.answer(query) == evaluate(query, database)
+    prepared = engine.query(requests[0])
+    print("answers:", prepared.answers().sorted_rows())
+
+    # The fast path: a delta through the engine maintains extents and evicts
+    # only the affected cache entries.
+    log = engine.apply("+ enrolled(eve, db).\n+ advises(smith, eve).")
+    print("delta touched:", sorted(log.affected_predicates()))
+    print("after delta:", prepared.answers().sorted_rows())
+
+    # The coarse path: out-of-band mutation still yields correct answers.
+    engine.database.add_fact("enrolled", ("bob", "ai"))
+    answer = prepared.answers()
+    assert answer.rows == repro.evaluate(prepared.query, engine.database)
+    print("after out-of-band insert:", answer.sorted_rows())
     print()
 
     # -- batch a workload ------------------------------------------------------
-    workload = requests * 20
-    report = run_batch(workload, views, database=database)
+    report = engine.batch(requests * 20, with_answers=True)
     print(
         f"batch: {report.requests} requests, {report.cache_hits} cache hits, "
         f"{report.throughput:.0f} q/s"
     )
 
     # -- introspection --------------------------------------------------------
-    stats = session.stats()
+    stats = engine.stats()
+    session = stats["session"]
     print(
-        "session: "
-        f"{stats['requests']} requests, "
-        f"rewrite cache {stats['rewrite_cache']['hits']}h/"
-        f"{stats['rewrite_cache']['misses']}m, "
-        f"{stats['view_index']['views_pruned']} views pruned by the index"
+        "engine: "
+        f"{stats['queries_served']} queries served, "
+        f"{stats['deltas_applied']} deltas applied, "
+        f"rewrite cache {session['rewrite_cache']['hits']}h/"
+        f"{session['rewrite_cache']['misses']}m, "
+        f"{session['view_index']['views_pruned']} views pruned by the index"
     )
 
 

@@ -8,6 +8,24 @@ and costing the plans.
 
 Quickstart
 ----------
+The front door is :func:`repro.connect`: one call validates the catalog
+(schema + views + constraints), attaches data, and returns an engine whose
+verbs cover the whole lifecycle:
+
+>>> import repro
+>>> engine = repro.connect(
+...     views="v_smith(S1) :- enrolled(S1, C1), taught_by(C1, 'smith').",
+...     data="enrolled('ana', 'db'). taught_by('db', 'smith').",
+... )
+>>> answer = engine.query("q(S) :- enrolled(S, C), taught_by(C, 'smith').").answers()
+>>> sorted(answer)
+[('ana',)]
+>>> answer.provenance.source
+'views'
+
+The pre-facade entry points (``rewrite``, ``evaluate``, ``RewritingSession``,
+...) remain fully supported — see ``docs/migration.md``:
+
 >>> from repro import parse_query, parse_views, rewrite
 >>> query = parse_query("q(S) :- enrolled(S, C), taught_by(C, 'smith').")
 >>> views = parse_views(
@@ -19,6 +37,7 @@ True
 """
 
 from repro.errors import (
+    ConstraintViolationError,
     EvaluationError,
     MaterializationError,
     ParseError,
@@ -109,24 +128,37 @@ from repro.service import (
     fingerprint,
     run_batch,
 )
+from repro.api import (
+    Answer,
+    Catalog,
+    Engine,
+    Explanation,
+    PreparedQuery,
+    connect,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Answer",
     "Atom",
     "BatchReport",
     "BucketRewriter",
+    "Catalog",
     "ChangeLog",
     "Comparison",
     "ComparisonOperator",
     "CompiledExecutor",
     "ConjunctiveQuery",
     "Constant",
+    "ConstraintViolationError",
     "Database",
+    "Engine",
     "DatalogProgram",
     "Delta",
     "EvaluationError",
     "ExhaustiveRewriter",
+    "Explanation",
     "FunctionTerm",
     "InterpretedExecutor",
     "InverseRulesRewriter",
@@ -137,6 +169,7 @@ __all__ = [
     "OptimizationResult",
     "ParseError",
     "PlanChoice",
+    "PreparedQuery",
     "QueryConstructionError",
     "QueryFingerprint",
     "ReproError",
@@ -157,6 +190,7 @@ __all__ = [
     "ViewSet",
     "certain_answers",
     "choose_best_plan",
+    "connect",
     "enumerate_plans",
     "estimate_cost",
     "evaluate",

@@ -1,0 +1,527 @@
+"""The :class:`Engine`: one connection-style object over the whole pipeline.
+
+``repro.connect(...)`` is the front door of the library: it validates a
+:class:`~repro.api.catalog.Catalog` once, attaches data, and returns an
+engine exposing the paper's lifecycle — rewrite a query using views, evaluate
+the rewriting, maintain the materialized extents under change — as a handful
+of verbs::
+
+    engine = repro.connect(views=VIEWS, data=FACTS)
+    engine.query("q(X) :- r(X, Y), s(Y, 'z').").answers()   # typed Answer
+    engine.query(q).rewrite()                               # RewritingResult
+    engine.query(q).explain()                               # typed Explanation
+    engine.apply("+ r(7, 8).")                              # incremental delta
+    engine.batch([...])                                     # workload report
+    engine.stats()                                          # full introspection
+
+Internally the engine owns a :class:`~repro.service.session.RewritingSession`
+(fingerprint caches, view-relevance index, delta-scoped invalidation), which
+in turn owns the executor (the compiled set-at-a-time engine by default) and
+the :class:`~repro.materialize.store.MaterializedViewStore`.  Nothing is
+reimplemented here: the facade composes the existing layers, and the old
+entry points (``rewrite``, ``evaluate``, ``RewritingSession``) remain
+supported underneath it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import (
+    ConstraintViolationError,
+    EvaluationError,
+    MaterializationError,
+    QueryConstructionError,
+)
+from repro.datalog.parser import parse_database, parse_program, parse_query
+from repro.datalog.printer import to_datalog
+from repro.datalog.queries import ConjunctiveQuery, UnionQuery
+from repro.engine.database import Database
+from repro.exec.executor import CompiledExecutor
+from repro.materialize.changelog import ChangeLog
+from repro.materialize.compare import verify_extents
+from repro.materialize.delta import Delta, parse_delta
+from repro.rewriting.certain import certain_answers
+from repro.rewriting.plans import Rewriting, RewritingKind, RewritingResult
+from repro.service.batch import BatchReport, run_batch
+from repro.service.session import RewritingSession
+from repro.api.catalog import Catalog, ConstraintsLike, SchemaLike, ViewsLike
+from repro.api.results import (
+    Answer,
+    CacheReport,
+    Evaluation,
+    Explanation,
+    PlanDescription,
+    PlanStep,
+    Provenance,
+    RewritingAlternative,
+    RewritingChoice,
+    SOURCE_BASE,
+    SOURCE_CERTAIN,
+    SOURCE_VIEWS,
+    SOURCE_VIEWS_AND_BASE,
+)
+
+DataLike = Union[None, Database, str, Mapping[str, Iterable[Sequence[Any]]]]
+QueryInput = Union[str, ConjunctiveQuery]
+DeltaLike = Union[str, Delta]
+
+
+def as_database(data: DataLike) -> Optional[Database]:
+    """Normalize a data argument: facts text, mapping, Database, or None."""
+    if data is None or isinstance(data, Database):
+        return data
+    if isinstance(data, str):
+        return Database.from_atoms(parse_database(data))
+    return Database.from_dict(data)
+
+
+def connect(
+    schema: SchemaLike = None,
+    views: ViewsLike = None,
+    data: DataLike = None,
+    view_instance: DataLike = None,
+    constraints: ConstraintsLike = None,
+    algorithm: str = "minicon",
+    mode: str = "equivalent",
+    executor: str = "compiled",
+    cache_size: int = 512,
+    use_view_index: bool = True,
+) -> "Engine":
+    """Open an :class:`Engine` over a validated catalog.
+
+    Parameters
+    ----------
+    schema:
+        Optional explicit relation schema — a ``{name: arity}`` mapping or
+        ``"name/arity"`` entries (string or iterable).  When given, views and
+        queries may only mention declared relations; when omitted, the schema
+        is inferred from the views and the attached data.
+    views:
+        View definitions: datalog text, an iterable of :class:`View`, or a
+        :class:`ViewSet`.
+    data:
+        The base database: facts text, a ``{relation: rows}`` mapping, or a
+        :class:`Database`.  Required for ``answers()`` / ``apply()``.
+    view_instance:
+        Tuples reported for the *views* (open-world setting): enables
+        ``certain()`` without base data.
+    constraints:
+        Denial constraints (boolean conjunctive queries) that must be false
+        on the data; checked once at attach time and on demand via
+        :meth:`Engine.check`.
+    algorithm / mode / executor / cache_size / use_view_index:
+        Forwarded to the underlying :class:`RewritingSession`.
+    """
+    database = as_database(data)
+    instance = as_database(view_instance)
+    catalog = Catalog(
+        schema=schema,
+        views=views,
+        constraints=constraints,
+        data_schema={r.name: r.arity for r in database.relations()}
+        if database is not None
+        else None,
+    )
+    return Engine(
+        catalog,
+        database=database,
+        view_instance=instance,
+        algorithm=algorithm,
+        mode=mode,
+        executor=executor,
+        cache_size=cache_size,
+        use_view_index=use_view_index,
+    )
+
+
+class PreparedQuery:
+    """One validated query bound to an engine; the verbs live here.
+
+    Obtained from :meth:`Engine.query`; cheap to create (parse + catalog
+    validation only) — all real work happens in the verb methods, each of
+    which goes through the engine's session caches.
+    """
+
+    __slots__ = ("engine", "query")
+
+    def __init__(self, engine: "Engine", query: ConjunctiveQuery):
+        self.engine = engine
+        self.query = query
+
+    def rewrite(self) -> RewritingResult:
+        """Rewrite this query using the engine's views (fingerprint-cached)."""
+        return self.engine._session.rewrite_cached(self.query)
+
+    def answers(self) -> Answer:
+        """Evaluate the query (through its best rewriting when one exists)."""
+        return self.engine._answer(self.query)
+
+    def explain(self) -> Explanation:
+        """The full decision tree: rewriting choice → plan steps → caches."""
+        return self.engine._explain(self.query)
+
+    def certain(self, method: str = "inverse-rules") -> Answer:
+        """Certain answers under sound views (open-world semantics)."""
+        return self.engine._certain(self.query, method)
+
+    def __repr__(self) -> str:
+        return f"PreparedQuery({to_datalog(self.query)!r})"
+
+
+class Engine:
+    """A connection-style facade over rewriting, execution and maintenance."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        database: Optional[Database] = None,
+        view_instance: Optional[Database] = None,
+        algorithm: str = "minicon",
+        mode: str = "equivalent",
+        executor: str = "compiled",
+        cache_size: int = 512,
+        use_view_index: bool = True,
+    ):
+        if not isinstance(catalog, Catalog):
+            raise QueryConstructionError(f"expected a Catalog, got {catalog!r}")
+        self._catalog = catalog
+        if database is not None:
+            catalog.validate_database(database)
+            violated = catalog.check_constraints(database)
+            if violated:
+                raise ConstraintViolationError(
+                    "attached data violates integrity constraint(s): "
+                    + ", ".join(violated),
+                    violated=violated,
+                )
+        if view_instance is not None:
+            catalog.validate_view_instance(view_instance)
+        self._view_instance = view_instance
+        self._session = RewritingSession(
+            catalog.views,
+            database=database,
+            algorithm=algorithm,
+            mode=mode,
+            cache_size=cache_size,
+            use_view_index=use_view_index,
+            executor=executor,
+        )
+        self.queries_served = 0
+        self.deltas_applied = 0
+
+    # -- the verbs ---------------------------------------------------------------
+    def query(self, query: QueryInput) -> PreparedQuery:
+        """Parse (if text) and validate a query against the catalog."""
+        if isinstance(query, str):
+            parsed = parse_query(query)
+        elif isinstance(query, ConjunctiveQuery):
+            parsed = query
+        else:
+            raise QueryConstructionError(
+                f"expected datalog text or a ConjunctiveQuery, got {query!r}"
+            )
+        self._catalog.validate_query(parsed)
+        return PreparedQuery(self, parsed)
+
+    def apply(self, delta: DeltaLike) -> ChangeLog:
+        """Apply a data delta; views and caches are maintained incrementally.
+
+        Accepts a :class:`Delta` or ``+ fact.`` / ``- fact.`` text.  Returns
+        the :class:`ChangeLog` saying which base predicates and views
+        actually changed.
+        """
+        if isinstance(delta, str):
+            delta = parse_delta(delta)
+        self._require_database("apply a delta")
+        log = self._session.apply_delta(delta)
+        self.deltas_applied += 1
+        return log
+
+    def batch(
+        self,
+        queries: Union[str, Sequence[QueryInput]],
+        with_answers: bool = False,
+        processes: int = 1,
+    ) -> BatchReport:
+        """Process a workload through the engine's configuration.
+
+        ``queries`` is a sequence of queries (text or objects) or one datalog
+        program text.  ``processes > 1`` fans out over worker processes, each
+        with its own session (see :func:`repro.service.batch.run_batch`).
+        """
+        if isinstance(queries, str):
+            queries = list(parse_program(queries))
+        return run_batch(
+            list(queries),
+            self._session.views,
+            database=self._session.database,
+            algorithm=self._session.algorithm,
+            mode=self._session.mode,
+            cache_size=self._session.cache_size,
+            use_view_index=self._session.use_view_index,
+            with_answers=with_answers,
+            processes=processes,
+            executor=self._session.executor,
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """Catalog, engine counters, and the full session/cache/store state."""
+        return {
+            "catalog": self._catalog.describe(),
+            "queries_served": self.queries_served,
+            "deltas_applied": self.deltas_applied,
+            "session": self._session.stats(),
+        }
+
+    def check(self) -> Tuple[str, ...]:
+        """Re-check integrity constraints; returns violated constraint names."""
+        self._require_database("check constraints")
+        assert self._session.database is not None
+        return self._catalog.check_constraints(self._session.database)
+
+    # -- materialization ----------------------------------------------------------
+    def extent(self, view_name: str) -> Any:
+        """The maintained extent of one view (materializing on first use)."""
+        self._require_database("read view extents")
+        return self._session.store().extent(view_name)
+
+    def verify(self) -> list:
+        """Cross-check maintained extents against full recomputation."""
+        self._require_database("verify view extents")
+        return verify_extents(self._session.store())
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    @property
+    def views(self):
+        return self._session.views
+
+    @property
+    def database(self) -> Optional[Database]:
+        return self._session.database
+
+    @property
+    def session(self) -> RewritingSession:
+        """The underlying session (for benchmarks and advanced callers)."""
+        return self._session
+
+    @property
+    def executor(self) -> str:
+        """The configured executor name (``"compiled"`` / ``"interpreted"``)."""
+        return self._session.executor
+
+    @property
+    def last_cache_hit(self) -> bool:
+        """Whether the most recent rewrite/answer was served from cache."""
+        return self._session.last_cache_hit
+
+    # -- lifecycle ----------------------------------------------------------------
+    def close(self) -> None:
+        """Drop every cache and materialization (the engine stays usable)."""
+        self._session.invalidate()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Engine({self._catalog!r}, data={self.database is not None}, "
+            f"executor={self.executor!r})"
+        )
+
+    # -- internals ----------------------------------------------------------------
+    def _require_database(self, action: str) -> None:
+        if self._session.database is None:
+            raise MaterializationError(
+                f"this engine has no base data attached; cannot {action} "
+                "(pass data=... to repro.connect)"
+            )
+
+    @staticmethod
+    def _plan_target(best: Optional[Rewriting]) -> str:
+        if best is not None and best.kind is RewritingKind.EQUIVALENT:
+            return SOURCE_VIEWS
+        if best is not None and best.kind is RewritingKind.PARTIAL:
+            return SOURCE_VIEWS_AND_BASE
+        return SOURCE_BASE
+
+    def _answer(self, query: ConjunctiveQuery) -> Answer:
+        self._require_database("answer queries")
+        started = time.perf_counter()
+        rows, result = self._session.answer_with_plan(query)
+        answered_from_cache = self._session.last_answer_from_cache
+        self.queries_served += 1
+        best = result.best
+        source = self._plan_target(best)
+        used = best if source != SOURCE_BASE else None
+        provenance = Provenance(
+            source=source,
+            rewriting=to_datalog(used.query) if used is not None else None,
+            kind=used.kind.value if used is not None else None,
+            algorithm=result.algorithm,
+            views_used=used.views_used if used is not None else (),
+            cache_hit=self._session.last_cache_hit,
+            answered_from_cache=answered_from_cache,
+            fingerprint=self._session.last_fingerprint,
+            executor=self._session.executor,
+        )
+        return Answer(
+            rows=rows,
+            query=to_datalog(query),
+            provenance=provenance,
+            elapsed=time.perf_counter() - started,
+        )
+
+    def _certain(self, query: ConjunctiveQuery, method: str) -> Answer:
+        started = time.perf_counter()
+        instance = self._view_instance
+        if instance is None:
+            self._require_database("compute certain answers without a view instance")
+            instance = self._session.store().as_database()
+        rows = certain_answers(query, self._session.views, instance, method=method)
+        self.queries_served += 1
+        provenance = Provenance(
+            source=SOURCE_CERTAIN,
+            rewriting=None,
+            kind=None,
+            algorithm=method,
+            views_used=self._session.views.names(),
+            cache_hit=False,
+            fingerprint="",
+            executor=self._session.executor,
+        )
+        return Answer(
+            rows=rows,
+            query=to_datalog(query),
+            provenance=provenance,
+            elapsed=time.perf_counter() - started,
+        )
+
+    def _explain(self, query: ConjunctiveQuery) -> Explanation:
+        answer_cached = (
+            self._session.database is not None
+            and self._session.has_cached_answer(query)
+        )
+        result = self._session.rewrite_cached(query)
+        rewrite_hit = self._session.last_cache_hit
+        best = result.best
+        choice = RewritingChoice(
+            found=best is not None,
+            chosen=to_datalog(best.query) if best is not None else None,
+            kind=best.kind.value if best is not None else None,
+            algorithm=result.algorithm,
+            views_used=best.views_used if best is not None else (),
+            candidates_examined=result.candidates_examined,
+            cache_hit=rewrite_hit,
+            alternatives=tuple(
+                RewritingAlternative(
+                    query=to_datalog(r.query),
+                    kind=r.kind.value,
+                    views_used=r.views_used,
+                )
+                for r in result.rewritings
+                if r is not best
+            ),
+        )
+        evaluation, materialization = self._describe_evaluation(query, best)
+        executor = self._session.evaluation_executor
+        executor_stats = executor.stats()
+        caches = CacheReport(
+            rewrite_cache_hit=rewrite_hit,
+            answer_cached=answer_cached,
+            plan_hits=executor_stats.get("plan_hits", 0),
+            plan_misses=executor_stats.get("plan_misses", 0),
+        )
+        return Explanation(
+            query=to_datalog(query),
+            fingerprint=self._session.last_fingerprint,
+            algorithm=self._session.algorithm,
+            mode=self._session.mode,
+            rewriting=choice,
+            evaluation=evaluation,
+            caches=caches,
+            materialization=materialization,
+        )
+
+    def _describe_evaluation(
+        self, query: ConjunctiveQuery, best: Optional[Rewriting]
+    ) -> Tuple[Evaluation, Optional[Dict[str, Any]]]:
+        executor_name = self._session.executor
+        if self._session.database is None:
+            return Evaluation(target="none", executor=executor_name, plans=()), None
+        target = self._plan_target(best)
+        if target == SOURCE_VIEWS:
+            plan_query: "ConjunctiveQuery | UnionQuery" = best.query  # type: ignore[union-attr]
+            plan_db = self._session.store().as_database()
+        elif target == SOURCE_VIEWS_AND_BASE:
+            plan_query = best.query  # type: ignore[union-attr]
+            assert self._session.database is not None
+            plan_db = self._session.store().as_database().merge(self._session.database)
+        else:
+            plan_query = query
+            plan_db = self._session.database
+        disjuncts = (
+            plan_query.disjuncts
+            if isinstance(plan_query, UnionQuery)
+            else (plan_query,)
+        )
+        executor = self._session.evaluation_executor
+        plans = tuple(
+            self._describe_plan(disjunct, plan_db, executor)
+            for disjunct in disjuncts
+        )
+        materialization = None
+        if target in (SOURCE_VIEWS, SOURCE_VIEWS_AND_BASE):
+            materialization = self._session.store().stats()
+        return Evaluation(target=target, executor=executor_name, plans=plans), materialization
+
+    @staticmethod
+    def _describe_plan(
+        disjunct: ConjunctiveQuery, database: Database, executor: Any
+    ) -> PlanDescription:
+        text = to_datalog(disjunct)
+        if not isinstance(executor, CompiledExecutor):
+            return PlanDescription(disjunct=text, strategy="interpreted")
+        hits_before = executor.plan_hits
+        try:
+            plan = executor.plan_for(disjunct, database)
+        except EvaluationError:
+            return PlanDescription(disjunct=text, strategy="interpreted")
+        cache_hit = executor.plan_hits > hits_before
+        if plan is None:
+            return PlanDescription(
+                disjunct=text, strategy="interpreted", cache_hit=cache_hit
+            )
+        if plan.always_empty:
+            return PlanDescription(
+                disjunct=text, strategy="empty", cache_hit=cache_hit
+            )
+        steps = []
+        for index, step in enumerate(plan.steps):
+            if step.key_positions:
+                operator = "hash_join" if index else "scan"
+            else:
+                operator = "scan" if index == 0 else "product"
+            steps.append(
+                PlanStep(
+                    operator=operator,
+                    predicate=step.predicate,
+                    arity=step.arity,
+                    key_positions=step.key_positions,
+                    filters=len(step.filters),
+                )
+            )
+        return PlanDescription(
+            disjunct=text,
+            strategy="compiled",
+            steps=tuple(steps),
+            cache_hit=cache_hit,
+        )

@@ -1,0 +1,318 @@
+"""Typed results returned by the :mod:`repro.api` facade.
+
+Two result objects cover the whole lifecycle:
+
+* :class:`Answer` — the rows of a query plus the *provenance* of how they
+  were produced: which rewriting (if any) was evaluated, over which instance
+  (materialized views, views plus base relations, or the base database
+  directly), whether the serving caches were hit, and by which executor.
+* :class:`Explanation` — a structured, JSON-serializable tree describing the
+  decision chain for one query: the rewriting choice (chosen plan,
+  alternatives, candidates examined) → the physical plan steps each disjunct
+  compiles to → the cache and materialization state the request would hit.
+
+Both are plain frozen dataclasses with ``to_json()`` producing only JSON
+types (dict/list/str/int/float/bool/None); the explanation format is pinned
+by ``docs/explanation.schema.json`` and validated in ``tests/api``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+#: Where an answer's rows were computed.
+SOURCE_VIEWS = "views"
+SOURCE_VIEWS_AND_BASE = "views+base"
+SOURCE_BASE = "base"
+SOURCE_CERTAIN = "certain"
+
+ANSWER_SOURCES = (SOURCE_VIEWS, SOURCE_VIEWS_AND_BASE, SOURCE_BASE, SOURCE_CERTAIN)
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """How an :class:`Answer` was produced."""
+
+    #: One of :data:`ANSWER_SOURCES`: the instance the rows came from.
+    source: str
+    #: Datalog text of the rewriting that was evaluated (``None`` when the
+    #: query ran directly over the base database, or for certain answers).
+    rewriting: Optional[str]
+    #: The rewriting's kind (``"equivalent"``, ``"partial"``, ...), if any.
+    kind: Optional[str]
+    #: Rewriting algorithm (or certain-answer method) that produced the plan.
+    algorithm: str
+    #: Names of the views the plan reads.
+    views_used: Tuple[str, ...] = ()
+    #: Whether the rewriting was served from the session's fingerprint cache.
+    cache_hit: bool = False
+    #: Whether the *rows* came straight from the answer cache (no evaluation).
+    answered_from_cache: bool = False
+    #: Canonical fingerprint of the query (empty for certain answers).
+    fingerprint: str = ""
+    #: Name of the executor that evaluated the plan.
+    executor: str = ""
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "source": self.source,
+            "rewriting": self.rewriting,
+            "kind": self.kind,
+            "algorithm": self.algorithm,
+            "views_used": list(self.views_used),
+            "cache_hit": self.cache_hit,
+            "answered_from_cache": self.answered_from_cache,
+            "fingerprint": self.fingerprint,
+            "executor": self.executor,
+        }
+
+
+@dataclass(frozen=True)
+class Answer:
+    """The rows of one query plus the provenance that produced them.
+
+    Behaves like a read-only set of tuples (iteration, ``len``, ``in``) so
+    callers migrating from raw ``evaluate()`` results keep working.
+    """
+
+    rows: FrozenSet[Tuple[Any, ...]]
+    query: str
+    provenance: Provenance
+    elapsed: float = 0.0
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self.rows
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def sorted_rows(self) -> List[Tuple[Any, ...]]:
+        """The rows in a stable, printable order."""
+        return sorted(self.rows, key=repr)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "query": self.query,
+            "rows": [list(row) for row in self.sorted_rows()],
+            "count": len(self.rows),
+            "provenance": self.provenance.to_json(),
+            "elapsed": self.elapsed,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Answer({len(self.rows)} rows, source={self.provenance.source!r}, "
+            f"cache_hit={self.provenance.cache_hit})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Explanation tree
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RewritingAlternative:
+    """One non-chosen rewriting the algorithm also found."""
+
+    query: str
+    kind: str
+    views_used: Tuple[str, ...] = ()
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "query": self.query,
+            "kind": self.kind,
+            "views_used": list(self.views_used),
+        }
+
+
+@dataclass(frozen=True)
+class RewritingChoice:
+    """The rewriting layer of an explanation: what was chosen and why."""
+
+    found: bool
+    chosen: Optional[str]
+    kind: Optional[str]
+    algorithm: str
+    views_used: Tuple[str, ...]
+    candidates_examined: int
+    cache_hit: bool
+    alternatives: Tuple[RewritingAlternative, ...] = ()
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "found": self.found,
+            "chosen": self.chosen,
+            "kind": self.kind,
+            "algorithm": self.algorithm,
+            "views_used": list(self.views_used),
+            "candidates_examined": self.candidates_examined,
+            "cache_hit": self.cache_hit,
+            "alternatives": [alt.to_json() for alt in self.alternatives],
+        }
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One physical operator in a compiled pipeline."""
+
+    #: ``"scan"`` (first step, no key), ``"hash_join"`` (indexed probe) or
+    #: ``"product"`` (keyless non-first step — a cartesian product).
+    operator: str
+    predicate: str
+    arity: int
+    key_positions: Tuple[int, ...] = ()
+    filters: int = 0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "operator": self.operator,
+            "predicate": self.predicate,
+            "arity": self.arity,
+            "key_positions": list(self.key_positions),
+            "filters": self.filters,
+        }
+
+
+@dataclass(frozen=True)
+class PlanDescription:
+    """The physical plan of one conjunctive disjunct."""
+
+    disjunct: str
+    #: ``"compiled"`` (set-at-a-time pipeline), ``"interpreted"`` (the
+    #: backtracking interpreter — by choice or compiler fallback) or
+    #: ``"empty"`` (a ground comparison is false; no rows possible).
+    strategy: str
+    steps: Tuple[PlanStep, ...] = ()
+    cache_hit: bool = False
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "disjunct": self.disjunct,
+            "strategy": self.strategy,
+            "steps": [step.to_json() for step in self.steps],
+            "cache_hit": self.cache_hit,
+        }
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """The execution layer of an explanation."""
+
+    #: ``"views"``, ``"views+base"``, ``"base"`` — or ``"none"`` when the
+    #: engine has no data attached and nothing would be evaluated.
+    target: str
+    executor: str
+    plans: Tuple[PlanDescription, ...] = ()
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "target": self.target,
+            "executor": self.executor,
+            "plans": [plan.to_json() for plan in self.plans],
+        }
+
+
+@dataclass(frozen=True)
+class CacheReport:
+    """Cache state relevant to one explained request."""
+
+    rewrite_cache_hit: bool
+    answer_cached: bool
+    plan_hits: int = 0
+    plan_misses: int = 0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "rewrite_cache_hit": self.rewrite_cache_hit,
+            "answer_cached": self.answer_cached,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+        }
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """A structured, JSON-serializable explanation of one query's lifecycle.
+
+    The tree reads top-down the way a request flows: the rewriting choice,
+    then the physical plans the chosen rewriting compiles to, then the cache
+    and materialization state serving the request.
+    """
+
+    query: str
+    fingerprint: str
+    algorithm: str
+    mode: str
+    rewriting: RewritingChoice
+    evaluation: Evaluation
+    caches: CacheReport
+    materialization: Optional[Dict[str, Any]] = field(default=None)
+
+    def to_json(self) -> Dict[str, Any]:
+        """A dict of pure JSON types (see ``docs/explanation.schema.json``)."""
+        return {
+            "query": self.query,
+            "fingerprint": self.fingerprint,
+            "algorithm": self.algorithm,
+            "mode": self.mode,
+            "rewriting": self.rewriting.to_json(),
+            "evaluation": self.evaluation.to_json(),
+            "caches": self.caches.to_json(),
+            "materialization": self.materialization,
+        }
+
+    def to_text(self) -> str:
+        """A human-readable tree rendering (what ``repro explain`` prints)."""
+        lines = [f"query: {self.query}"]
+        lines.append(f"  fingerprint: {self.fingerprint}")
+        choice = self.rewriting
+        tag = " [cached]" if choice.cache_hit else ""
+        lines.append(
+            f"  rewriting ({choice.algorithm}, {self.mode}, "
+            f"{choice.candidates_examined} candidates examined){tag}:"
+        )
+        if choice.found:
+            lines.append(f"    chosen [{choice.kind}]: {choice.chosen}")
+            if choice.views_used:
+                lines.append(f"    views used: {', '.join(choice.views_used)}")
+            for alt in choice.alternatives:
+                lines.append(f"    alternative [{alt.kind}]: {alt.query}")
+        else:
+            lines.append("    no rewriting found")
+        lines.append(
+            f"  evaluation (target={self.evaluation.target}, "
+            f"executor={self.evaluation.executor}):"
+        )
+        for plan in self.evaluation.plans:
+            tag = " [plan cached]" if plan.cache_hit else ""
+            lines.append(f"    plan [{plan.strategy}]{tag}: {plan.disjunct}")
+            for step in plan.steps:
+                key = (
+                    f" key={list(step.key_positions)}" if step.key_positions else ""
+                )
+                filters = f" filters={step.filters}" if step.filters else ""
+                lines.append(
+                    f"      {step.operator} {step.predicate}/{step.arity}{key}{filters}"
+                )
+        caches = self.caches
+        lines.append(
+            f"  caches: rewrite_hit={caches.rewrite_cache_hit} "
+            f"answer_cached={caches.answer_cached} "
+            f"plans={caches.plan_hits}h/{caches.plan_misses}m"
+        )
+        if self.materialization is not None:
+            lines.append(
+                f"  materialization: {self.materialization.get('views', 0)} views, "
+                f"{self.materialization.get('extent_rows', 0)} extent rows, "
+                f"{self.materialization.get('deltas_applied', 0)} deltas applied"
+            )
+        return "\n".join(lines)

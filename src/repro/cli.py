@@ -1,13 +1,16 @@
 """Command-line interface.
 
-The CLI exposes the library's main entry points for quick experimentation
-without writing Python:
+Every subcommand goes through the :mod:`repro.api` facade — the CLI is a thin
+argument-parsing shell around ``repro.connect(...)`` and the engine verbs:
 
 ``python -m repro rewrite``
     Rewrite a query using views and print the plans found.
 ``python -m repro answer``
     Evaluate a query (directly, or through its rewriting) over a database of
     facts.
+``python -m repro explain``
+    Print the decision tree for a query: rewriting choice, physical plan
+    steps, cache and materialization state (optionally as JSON).
 ``python -m repro certain``
     Compute certain answers from materialized view instances.
 ``python -m repro materialize``
@@ -16,10 +19,10 @@ without writing Python:
     Apply a ``+ fact.`` / ``- fact.`` delta to a database, maintain the view
     extents incrementally, and report what changed.
 ``python -m repro serve``
-    Run a long-lived rewriting session that reads queries line by line and
-    serves them through the fingerprint cache.
+    Run a long-lived engine that reads queries line by line and serves them
+    through the fingerprint cache.
 ``python -m repro batch``
-    Process a file of workload queries through one session, optionally with
+    Process a file of workload queries through one engine, optionally with
     multiprocessing fan-out, and report per-query results and throughput.
 ``python -m repro experiments``
     List the reproduced experiments (E1..E13) and the bench that regenerates
@@ -27,6 +30,28 @@ without writing Python:
 
 Queries and views are given inline or in files, in the datalog syntax of
 :mod:`repro.datalog.parser`; databases are files of ground facts.
+
+Exit codes
+----------
+``0`` success; ``1`` operational failure (no rewriting found, verification
+mismatch, batch errors); ``2`` usage error (bad flags — argparse).  Library
+errors map each :class:`~repro.errors.ReproError` subclass to its own code so
+scripts can react without parsing messages:
+
+=====  ==========================================================
+code   error
+=====  ==========================================================
+64     ``ReproError`` (any subclass not listed below)
+65     ``ParseError`` (rendered with line/column and caret context)
+66     ``UnsafeQueryError``
+67     ``QueryConstructionError``
+68     ``SchemaError``
+69     ``EvaluationError``
+70     ``RewritingError``
+71     ``MaterializationError``
+72     ``UnsupportedFeatureError``
+73     ``ConstraintViolationError``
+=====  ==========================================================
 """
 
 from __future__ import annotations
@@ -34,21 +59,60 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.errors import ReproError
-from repro.datalog.parser import parse_database, parse_program, parse_query, parse_views
-from repro.engine.database import Database
-from repro.engine.evaluate import evaluate, materialize_views
+from repro.errors import (
+    ConstraintViolationError,
+    EvaluationError,
+    MaterializationError,
+    ParseError,
+    QueryConstructionError,
+    ReproError,
+    RewritingError,
+    SchemaError,
+    UnsafeQueryError,
+    UnsupportedFeatureError,
+)
+from repro.api import connect
+from repro.datalog.parser import parse_program
 from repro.exec import EXECUTORS, set_default_executor
 from repro.experiments.registry import all_experiments
-from repro.materialize.compare import verify_extents
 from repro.materialize.delta import parse_delta
-from repro.materialize.store import MaterializedViewStore
-from repro.rewriting.certain import certain_answers
-from repro.rewriting.rewriter import ALGORITHMS, MODES, rewrite
-from repro.service.batch import run_batch
-from repro.service.session import RewritingSession
+from repro.rewriting.rewriter import ALGORITHMS, MODES
+
+#: Exit code per error class; the most derived class wins (see module docs).
+EXIT_CODES = {
+    ReproError: 64,
+    ParseError: 65,
+    UnsafeQueryError: 66,
+    QueryConstructionError: 67,
+    SchemaError: 68,
+    EvaluationError: 69,
+    RewritingError: 70,
+    MaterializationError: 71,
+    UnsupportedFeatureError: 72,
+    ConstraintViolationError: 73,
+}
+
+
+def exit_code_for(error: ReproError) -> int:
+    """The documented exit code for an error (most derived class wins)."""
+    for klass in type(error).__mro__:
+        code = EXIT_CODES.get(klass)
+        if code is not None:
+            return code
+    return 64  # pragma: no cover - every ReproError hits the base entry
+
+
+def format_error(error: ReproError) -> str:
+    """Render an error for the terminal; parse errors get caret context."""
+    message = f"error: {error}"
+    if isinstance(error, ParseError):
+        context = error.caret_context()
+        if context is not None:
+            indented = "\n".join(f"  {line}" for line in context.splitlines())
+            message = f"{message}\n{indented}"
+    return message
 
 
 def _read_text(value: str) -> str:
@@ -59,15 +123,31 @@ def _read_text(value: str) -> str:
     return value
 
 
-def _load_database(value: str) -> Database:
-    return Database.from_atoms(parse_database(_read_text(value)))
+def _engine_for(args: argparse.Namespace, **overrides):
+    """Build the engine a subcommand needs from its common flags."""
+    options = {
+        "views": _read_text(args.views) if getattr(args, "views", None) else None,
+        "data": _read_text(args.database) if getattr(args, "database", None) else None,
+        "algorithm": getattr(args, "algorithm", "minicon"),
+        "mode": getattr(args, "mode", "equivalent"),
+        "executor": getattr(args, "executor", "compiled"),
+        "cache_size": getattr(args, "cache_size", 512),
+        "use_view_index": not getattr(args, "no_view_index", False),
+    }
+    options.update(overrides)
+    return connect(**options)
+
+
+def _print_rows(rows, out) -> None:
+    for row in sorted(rows, key=repr):
+        print("\t".join(str(value) for value in row), file=out)
 
 
 def _command_rewrite(args: argparse.Namespace, out) -> int:
-    query = parse_query(_read_text(args.query))
-    views = parse_views(_read_text(args.views))
-    result = rewrite(query, views, algorithm=args.algorithm, mode=args.mode)
-    print(f"# query: {query}", file=out)
+    engine = _engine_for(args)
+    prepared = engine.query(_read_text(args.query))
+    result = prepared.rewrite()
+    print(f"# query: {prepared.query}", file=out)
     print(f"# algorithm={args.algorithm} mode={args.mode} "
           f"candidates={result.candidates_examined} time={result.elapsed:.4f}s", file=out)
     if not result.rewritings:
@@ -84,52 +164,55 @@ def _command_rewrite(args: argparse.Namespace, out) -> int:
 
 def _command_answer(args: argparse.Namespace, out) -> int:
     set_default_executor(args.executor)
-    query = parse_query(_read_text(args.query))
-    database = _load_database(args.database)
+    engine = _engine_for(args)
+    answer = engine.query(_read_text(args.query)).answers()
+    provenance = answer.provenance
     if args.views:
-        views = parse_views(_read_text(args.views))
-        result = rewrite(query, views, algorithm=args.algorithm, mode="equivalent")
-        if result.best is None:
-            print("no equivalent rewriting found; evaluating the query directly", file=out)
-            answers = evaluate(query, database)
+        if provenance.source == "views":
+            print(f"# using rewriting: {provenance.rewriting}", file=out)
+        elif provenance.source == "views+base":
+            print(f"# using partial rewriting: {provenance.rewriting}", file=out)
         else:
-            print(f"# using rewriting: {result.best.query}", file=out)
-            instance = materialize_views(views, database)
-            answers = evaluate(result.best.query, instance)
-    else:
-        answers = evaluate(query, database)
-    for row in sorted(answers, key=repr):
-        print("\t".join(str(value) for value in row), file=out)
-    print(f"# {len(answers)} answers", file=out)
+            print("no equivalent rewriting found; evaluating the query directly", file=out)
+    _print_rows(answer, out)
+    print(f"# {len(answer)} answers", file=out)
+    return 0
+
+
+def _command_explain(args: argparse.Namespace, out) -> int:
+    engine = _engine_for(args)
+    explanation = engine.query(_read_text(args.query)).explain()
+    if args.json:
+        import json
+
+        Path(args.json).write_text(json.dumps(explanation.to_json(), indent=2))
+        print(f"# wrote {args.json}", file=out)
+    print(explanation.to_text(), file=out)
     return 0
 
 
 def _command_certain(args: argparse.Namespace, out) -> int:
-    query = parse_query(_read_text(args.query))
-    views = parse_views(_read_text(args.views))
-    instance = _load_database(args.view_instance)
-    answers = certain_answers(query, views, instance, method=args.method)
-    for row in sorted(answers, key=repr):
-        print("\t".join(str(value) for value in row), file=out)
-    print(f"# {len(answers)} certain answers ({args.method})", file=out)
+    engine = _engine_for(
+        args, data=None, view_instance=_read_text(args.view_instance)
+    )
+    answer = engine.query(_read_text(args.query)).certain(method=args.method)
+    _print_rows(answer, out)
+    print(f"# {len(answer)} certain answers ({args.method})", file=out)
     return 0
 
 
 def _command_materialize(args: argparse.Namespace, out) -> int:
     set_default_executor(args.executor)
-    views = parse_views(_read_text(args.views))
-    database = _load_database(args.database)
-    store = MaterializedViewStore(views, database)
+    engine = _engine_for(args)
     wanted = set(args.view) if args.view else None
-    for view in views:
+    for view in engine.views:
         if wanted is not None and view.name not in wanted:
             continue
-        rows = store.extent(view.name)
+        rows = engine.extent(view.name)
         print(f"-- {view.name}/{view.arity}: {len(rows)} rows", file=out)
         if not args.sizes_only:
-            for row in sorted(rows, key=repr):
-                print("\t".join(str(value) for value in row), file=out)
-    stats = store.stats()
+            _print_rows(rows, out)
+    stats = engine.session.store().stats()
     print(
         f"# materialized {stats['views']} views, {stats['extent_rows']} extent rows, "
         f"{stats['tracked_derivations']} derivations tracked",
@@ -139,11 +222,9 @@ def _command_materialize(args: argparse.Namespace, out) -> int:
 
 
 def _command_apply_delta(args: argparse.Namespace, out) -> int:
-    views = parse_views(_read_text(args.views))
-    database = _load_database(args.database)
-    store = MaterializedViewStore(views, database)
+    engine = _engine_for(args)
     delta = parse_delta(_read_text(args.delta))
-    log = store.apply_delta(delta)
+    log = engine.apply(delta)
     print(f"# delta: {delta.size()} requested, {log.delta.size()} effective", file=out)
     for name in sorted(log.base_predicates):
         print(
@@ -159,13 +240,12 @@ def _command_apply_delta(args: argparse.Namespace, out) -> int:
             file=out,
         )
     if args.show_extents:
-        for view in views:
-            rows = store.extent(view.name)
+        for view in engine.views:
+            rows = engine.extent(view.name)
             print(f"-- {view.name}/{view.arity}: {len(rows)} rows", file=out)
-            for row in sorted(rows, key=repr):
-                print("\t".join(str(value) for value in row), file=out)
+            _print_rows(rows, out)
     if args.verify:
-        mismatches = verify_extents(store)
+        mismatches = engine.verify()
         if mismatches:
             for mismatch in mismatches:
                 print(f"MISMATCH {mismatch}", file=out)
@@ -175,17 +255,9 @@ def _command_apply_delta(args: argparse.Namespace, out) -> int:
 
 
 def _command_serve(args: argparse.Namespace, out) -> int:
-    views = parse_views(_read_text(args.views))
-    database = _load_database(args.database) if args.database else None
-    session = RewritingSession(
-        views,
-        database=database,
-        algorithm=args.algorithm,
-        mode=args.mode,
-        cache_size=args.cache_size,
-        use_view_index=not args.no_view_index,
-        executor=args.executor,
-    )
+    set_default_executor(args.executor)
+    engine = _engine_for(args)
+    with_answers = engine.database is not None and args.answers
     source = Path(args.input).open() if args.input else sys.stdin
     served = 0
     try:
@@ -196,38 +268,43 @@ def _command_serve(args: argparse.Namespace, out) -> int:
             if line in (":quit", ":exit"):
                 break
             if line == ":stats":
-                _print_session_stats(session, out)
+                _print_session_stats(engine, out)
                 continue
             try:
-                query = parse_query(line)
-                if database is not None and args.answers:
-                    rows, result = session.answer_with_plan(query)
+                prepared = engine.query(line)
+                if with_answers:
+                    answer = prepared.answers()
+                    rows: "object | None" = answer.rows
+                    best = answer.provenance.rewriting
+                    hit = answer.provenance.cache_hit
                 else:
-                    rows, result = None, session.rewrite_cached(query)
+                    result = prepared.rewrite()
+                    rows = None
+                    best = result.best.query if result.best is not None else None
+                    hit = engine.last_cache_hit
             except ReproError as error:
                 # One bad request must not take the server down.
-                print(f"error: {error}", file=out)
+                print(format_error(error), file=out)
                 continue
             served += 1
-            tag = "hit " if session.last_cache_hit else "miss"
-            if result.best is None:
+            tag = "hit " if hit else "miss"
+            if best is None:
                 print(f"[{tag}] no rewriting found", file=out)
             else:
-                print(f"[{tag}] {result.best.query}", file=out)
+                print(f"[{tag}] {best}", file=out)
             if rows is not None:
-                for row in sorted(rows, key=repr):
-                    print("\t".join(str(value) for value in row), file=out)
+                _print_rows(rows, out)
                 print(f"# {len(rows)} answers", file=out)
     finally:
         if source is not sys.stdin:
             source.close()
     print(f"# served {served} queries", file=out)
-    _print_session_stats(session, out)
+    _print_session_stats(engine, out)
     return 0
 
 
-def _print_session_stats(session: RewritingSession, out) -> None:
-    stats = session.stats()
+def _print_session_stats(engine, out) -> None:
+    stats = engine.stats()["session"]
     rewrite_stats = stats["rewrite_cache"]
     index_stats = stats["view_index"]
     print(
@@ -245,20 +322,11 @@ def _print_session_stats(session: RewritingSession, out) -> None:
 
 
 def _command_batch(args: argparse.Namespace, out) -> int:
+    set_default_executor(args.executor)
+    engine = _engine_for(args)
     queries = parse_program(_read_text(args.queries))
-    views = parse_views(_read_text(args.views))
-    database = _load_database(args.database) if args.database else None
-    report = run_batch(
-        queries,
-        views,
-        database=database,
-        algorithm=args.algorithm,
-        mode=args.mode,
-        cache_size=args.cache_size,
-        use_view_index=not args.no_view_index,
-        with_answers=args.answers,
-        processes=args.processes,
-        executor=args.executor,
+    report = engine.batch(
+        queries, with_answers=args.answers, processes=args.processes
     )
     for item in report.items:
         status = "error" if item.error else ("hit " if item.cache_hit else "miss")
@@ -287,6 +355,13 @@ def _command_experiments(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _add_executor_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor", choices=EXECUTORS, default="compiled",
+        help="execution engine for query evaluation (default: compiled)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -311,10 +386,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--views", help="optional views: answer through an equivalent rewriting instead"
     )
     answer_parser.add_argument("--algorithm", choices=ALGORITHMS, default="minicon")
-    answer_parser.add_argument(
-        "--executor", choices=EXECUTORS, default="compiled", help="execution engine for query evaluation (default: compiled)"
-    )
+    _add_executor_flag(answer_parser)
     answer_parser.set_defaults(handler=_command_answer)
+
+    explain_parser = subparsers.add_parser(
+        "explain", help="print the rewriting/plan/cache decision tree for a query"
+    )
+    explain_parser.add_argument("--query", required=True)
+    explain_parser.add_argument("--views", required=True, help="view definitions text or file")
+    explain_parser.add_argument("--database", help="optional facts text or file")
+    explain_parser.add_argument("--algorithm", choices=ALGORITHMS, default="minicon")
+    explain_parser.add_argument("--mode", choices=MODES, default="equivalent")
+    explain_parser.add_argument("--json", help="also write the explanation to this JSON file")
+    _add_executor_flag(explain_parser)
+    explain_parser.set_defaults(handler=_command_explain)
 
     certain_parser = subparsers.add_parser(
         "certain", help="certain answers from materialized view instances"
@@ -342,9 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
     materialize_parser.add_argument(
         "--sizes-only", action="store_true", help="print extent sizes without the rows"
     )
-    materialize_parser.add_argument(
-        "--executor", choices=EXECUTORS, default="compiled", help="execution engine for query evaluation (default: compiled)"
-    )
+    _add_executor_flag(materialize_parser)
     materialize_parser.set_defaults(handler=_command_materialize)
 
     delta_parser = subparsers.add_parser(
@@ -366,7 +449,7 @@ def build_parser() -> argparse.ArgumentParser:
     delta_parser.set_defaults(handler=_command_apply_delta)
 
     serve_parser = subparsers.add_parser(
-        "serve", help="serve queries line by line through a caching session"
+        "serve", help="serve queries line by line through a caching engine"
     )
     serve_parser.add_argument("--views", required=True, help="view definitions text or file")
     serve_parser.add_argument("--database", help="optional facts text or file")
@@ -383,13 +466,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--no-view-index", action="store_true", help="disable view-relevance pruning"
     )
-    serve_parser.add_argument(
-        "--executor", choices=EXECUTORS, default="compiled", help="execution engine for query evaluation (default: compiled)"
-    )
+    _add_executor_flag(serve_parser)
     serve_parser.set_defaults(handler=_command_serve)
 
     batch_parser = subparsers.add_parser(
-        "batch", help="process a workload file through one caching session"
+        "batch", help="process a workload file through one caching engine"
     )
     batch_parser.add_argument(
         "--queries", required=True, help="workload queries (datalog rules, text or file)"
@@ -410,9 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument(
         "--no-view-index", action="store_true", help="disable view-relevance pruning"
     )
-    batch_parser.add_argument(
-        "--executor", choices=EXECUTORS, default="compiled", help="execution engine for query evaluation (default: compiled)"
-    )
+    _add_executor_flag(batch_parser)
     batch_parser.add_argument("--json", help="write the full report to this JSON file")
     batch_parser.set_defaults(handler=_command_batch)
 
@@ -424,16 +503,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code (see module docs)."""
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.handler(args, out)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+        print(format_error(error), file=sys.stderr)
+        return exit_code_for(error)
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    sys.exit(main(argv=None))

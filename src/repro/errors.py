@@ -31,12 +31,44 @@ class ParseError(ReproError):
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         base = super().__str__()
-        if self.position is None or not self.text:
+        location = self.location()
+        if location is None:
             return base
+        line, col = location
+        return f"{base} (line {line}, column {col})"
+
+    def location(self) -> "tuple[int, int] | None":
+        """The 1-based ``(line, column)`` of the error, when known."""
+        if self.position is None or not self.text:
+            return None
         line = self.text.count("\n", 0, self.position) + 1
         last_newline = self.text.rfind("\n", 0, self.position)
         col = self.position - last_newline
-        return f"{base} (line {line}, column {col})"
+        return line, col
+
+    def caret_context(self, max_width: int = 78) -> "str | None":
+        """The offending source line with a caret under the error column.
+
+        Returns ``None`` when no position is attached.  Long lines are
+        windowed around the error so the caret always fits in ``max_width``
+        columns.
+        """
+        location = self.location()
+        if location is None:
+            return None
+        line_no, col = location
+        lines = self.text.splitlines()
+        # An at-end-of-input position on newline-terminated text points one
+        # line past the last: caret an empty line rather than crash.
+        source_line = lines[line_no - 1] if line_no <= len(lines) else ""
+        caret_index = min(col - 1, len(source_line))
+        start = 0
+        if caret_index >= max_width:
+            start = caret_index - max_width // 2
+        window = source_line[start : start + max_width]
+        if start > 0:
+            window = "..." + window[3:]
+        return f"{window}\n{' ' * (caret_index - start)}^"
 
 
 class QueryConstructionError(ReproError):
@@ -61,6 +93,17 @@ class RewritingError(ReproError):
 
 class MaterializationError(ReproError):
     """Raised by the materialized-view store (delta application, maintenance)."""
+
+
+class ConstraintViolationError(ReproError):
+    """Raised when attached data violates a catalog integrity constraint.
+
+    Carries the names of the violated (denial) constraints in ``violated``.
+    """
+
+    def __init__(self, message: str, violated: "tuple[str, ...]" = ()):
+        super().__init__(message)
+        self.violated = tuple(violated)
 
 
 class UnsupportedFeatureError(ReproError):

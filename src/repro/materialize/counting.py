@@ -98,6 +98,18 @@ def delta_counts(
     this).  The result maps output rows to signed count adjustments.
     """
     check_supported(definition)
+    # The delta rules realize S0/S1 as the current state plus overlays built
+    # from the two sides independently, which is only coherent when they are
+    # disjoint.  Normalized deltas always are (insertions win construction),
+    # and effective deltas are subsets of normalized ones — this guards
+    # against a hand-built mapping smuggled past the Delta constructor.
+    for name in delta.predicates():
+        overlap = delta.inserted_rows(name) & delta.removed_rows(name)
+        if overlap:
+            raise MaterializationError(
+                f"delta for {name} lists {len(overlap)} row(s) as both inserted "
+                "and removed; counting maintenance needs disjoint sides"
+            )
     body = definition.body
     comparisons = definition.comparisons
     head_args = definition.head.args

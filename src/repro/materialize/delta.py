@@ -6,10 +6,15 @@ them (:meth:`repro.engine.database.Database.apply_delta`), the store maintains
 view extents from them, and the serving layer scopes cache invalidation to
 the predicates they touch.
 
-Deltas are immutable and *normalized*: a row listed as both inserted and
-removed for the same relation cancels out at construction (applying "delete
-then insert" — the engine's staging — to any base state is a no-op for such a
-row, set-semantically).
+Deltas are immutable and *normalized sequencing-aware*: application order is
+always removals first, then insertions (the engine's staging), so a row
+listed as both inserted and removed for the same relation means "delete, then
+insert" — the row is present afterwards on **every** base state.  The
+insertion therefore wins at construction: the row stays in ``inserted`` and
+is dropped from ``removed``.  (The old order-insensitive cancellation
+silently dropped a delete+reinsert of an absent row.)  A chronological
+sequence of changes should be folded through :meth:`Delta.merge`, which is
+equivalent to applying the deltas one after the other.
 """
 
 from __future__ import annotations
@@ -51,11 +56,12 @@ class Delta:
     ):
         ins = _freeze(dict(inserted) if inserted else {})
         rem = _freeze(dict(removed) if removed else {})
-        # Normalize: a row both inserted and removed nets out.
+        # Normalize sequencing-aware: removals apply before insertions, so a
+        # row in both sides is removed then re-inserted — present afterwards
+        # on every base state.  The insertion wins; the removal is redundant.
         for name in set(ins) & set(rem):
             overlap = ins[name] & rem[name]
             if overlap:
-                ins[name] = ins[name] - overlap
                 rem[name] = rem[name] - overlap
         object.__setattr__(
             self, "inserted", {name: rows for name, rows in ins.items() if rows}
@@ -111,13 +117,25 @@ class Delta:
         return Delta(inserted=self.removed, removed=self.inserted)
 
     def merge(self, other: "Delta") -> "Delta":
-        """The union of two deltas (overlapping insert/remove pairs net out)."""
+        """The sequential composition ``self`` then ``other``, as one delta.
+
+        Sequencing-aware: per row, the *later* operation wins, so applying the
+        merged delta to any base state leaves exactly the state that applying
+        ``self`` and then ``other`` would (``apply(merge(d1, d2)) ==
+        apply(d1); apply(d2)``, set-semantically).  In particular
+        ``(+r).merge(-r)`` removes ``r`` — it does not cancel to the empty
+        delta.
+        """
         inserted: Dict[str, set] = {name: set(rows) for name, rows in self.inserted.items()}
         removed: Dict[str, set] = {name: set(rows) for name, rows in self.removed.items()}
-        for name, rows in other.inserted.items():
-            inserted.setdefault(name, set()).update(rows)
         for name, rows in other.removed.items():
+            if name in inserted:
+                inserted[name] -= rows
             removed.setdefault(name, set()).update(rows)
+        for name, rows in other.inserted.items():
+            if name in removed:
+                removed[name] -= rows
+            inserted.setdefault(name, set()).update(rows)
         return Delta(inserted=inserted, removed=removed)
 
     # -- protocol ---------------------------------------------------------------
@@ -144,9 +162,14 @@ class Delta:
 
     # -- (de)serialization ---------------------------------------------------------
     def to_text(self) -> str:
-        """A datalog-style listing: one ``+ fact.`` / ``- fact.`` line per change."""
+        """A datalog-style listing: one ``+ fact.`` / ``- fact.`` line per change.
+
+        Removals are listed first, mirroring the application order (a
+        normalized delta's sides are disjoint, so either order round-trips
+        through :func:`parse_delta`).
+        """
         lines = []
-        for sign, side in (("+", self.inserted), ("-", self.removed)):
+        for sign, side in (("-", self.removed), ("+", self.inserted)):
             for name in sorted(side):
                 for row in sorted(side[name], key=repr):
                     args = ", ".join(_value_to_text(v) for v in row)
@@ -177,23 +200,32 @@ def parse_delta(text: str) -> Delta:
     """Parse the ``+ fact.`` / ``- fact.`` format produced by :meth:`Delta.to_text`.
 
     Blank lines and ``#`` comments are ignored; every other line must start
-    with ``+`` or ``-`` followed by a ground fact in datalog syntax.
+    with ``+`` or ``-`` followed by a ground fact in datalog syntax.  Lines
+    are folded *sequentially* (each line is a singleton delta merged onto the
+    previous ones), so listing ``+ r(1).`` and then ``- r(1).`` removes the
+    row while the opposite order inserts it — the text reads as a change
+    script, top to bottom.
     """
-    inserted_lines = []
-    removed_lines = []
+    from repro.engine.database import term_to_value  # local import to avoid a cycle
+
+    inserted: Dict[str, set] = {}
+    removed: Dict[str, set] = {}
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith("#") or line.startswith("%"):
             continue
         if line.startswith("+"):
-            inserted_lines.append(line[1:].strip())
+            sign, later, earlier = "+", inserted, removed
         elif line.startswith("-"):
-            removed_lines.append(line[1:].strip())
+            sign, later, earlier = "-", removed, inserted
         else:
             raise SchemaError(
                 f"delta line {lineno} must start with '+' or '-': {raw!r}"
             )
-    return Delta.from_atoms(
-        inserted=parse_database("\n".join(inserted_lines)),
-        removed=parse_database("\n".join(removed_lines)),
-    )
+        for atom in parse_database(line[1:].strip()):
+            if not atom.is_ground():
+                raise SchemaError(f"delta facts must be ground, got {atom}")
+            row = tuple(term_to_value(t) for t in atom.args)
+            earlier.get(atom.predicate, set()).discard(row)
+            later.setdefault(atom.predicate, set()).add(row)
+    return Delta(inserted=inserted, removed=removed)

@@ -165,6 +165,7 @@ class RewritingSession:
         self._executor = (
             CompiledExecutor() if executor == "compiled" else InterpretedExecutor()
         )
+        self.cache_size = cache_size
         self.use_view_index = use_view_index
         self._views: ViewSet = views if isinstance(views, ViewSet) else ViewSet(list(views))
         self._views_token = self._views.version_token()
@@ -190,6 +191,9 @@ class RewritingSession:
         self.delta_retained = 0
         #: Whether the most recent rewrite_cached/answer call was served from cache.
         self.last_cache_hit = False
+        #: Whether the most recent answer/answer_with_plan rows came from the
+        #: answer cache (no evaluation).
+        self.last_answer_from_cache = False
         #: Fingerprint text of the most recently served query.
         self.last_fingerprint = ""
 
@@ -201,6 +205,32 @@ class RewritingSession:
     @property
     def database(self) -> Optional[Database]:
         return self._database
+
+    @property
+    def evaluation_executor(self) -> "CompiledExecutor | InterpretedExecutor":
+        """The executor instance evaluating this session's plans."""
+        return self._executor
+
+    def store(self) -> MaterializedViewStore:
+        """The session's materialized-view store (created on first use).
+
+        Requires a database; the same store backs :meth:`answer` and
+        :meth:`apply_delta`, so extents read from it are the ones queries are
+        answered against.
+        """
+        self._require_database()
+        return self._view_store()
+
+    def has_cached_answer(self, query: ConjunctiveQuery) -> bool:
+        """Whether an answer for ``query`` is currently cached.
+
+        Syncs the database version first, so an entry invalidated by an
+        out-of-band mutation is never reported as cached.
+        """
+        if self._database is not None:
+            self._refresh_database_version()
+        key = (fingerprint(query).text, self.algorithm, self.mode)
+        return self._answer_cache.peek(key) is not None
 
     def set_views(self, views: "ViewSet | Iterable[View]") -> None:
         """Swap the view set; caches are invalidated unless the contents match."""
@@ -384,7 +414,9 @@ class RewritingSession:
         cached = self._answer_cache.get(key)
         if cached is not None:
             self.last_cache_hit = True
+            self.last_answer_from_cache = True
             return cached[0]
+        self.last_answer_from_cache = False
         result = self._rewrite_with_fp(query, fp)
         answers = self._evaluate_plan(query, result)
         self.last_cache_hit = False
@@ -407,6 +439,7 @@ class RewritingSession:
         rewrite_hit = self.last_cache_hit
         key = (fp.text, self.algorithm, self.mode)
         cached = self._answer_cache.get(key)
+        self.last_answer_from_cache = cached is not None
         if cached is None:
             answers = self._evaluate_plan(query, result)
             self._answer_cache.put(key, (answers, _query_predicates(query)))

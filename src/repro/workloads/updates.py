@@ -103,6 +103,12 @@ def update_stream(
                     continue
                 state[name].add(row)
                 pool[name].append(row)
+                # Sequencing-aware fold: the later operation on a row wins,
+                # so re-inserting a row removed earlier in this step leaves
+                # it on the inserted side only (a no-op insert if the row was
+                # present at the start of the step — the effective delta
+                # computed at application time drops it).
+                removed.get(name, set()).discard(row)
                 inserted.setdefault(name, set()).add(row)
             else:
                 index = rng.randrange(len(pool[name]))
@@ -110,6 +116,7 @@ def update_stream(
                 pool[name][index] = pool[name][-1]
                 pool[name].pop()
                 state[name].remove(row)
+                inserted.get(name, set()).discard(row)
                 removed.setdefault(name, set()).add(row)
         deltas.append(Delta(inserted=inserted, removed=removed))
     return deltas

@@ -1,0 +1,249 @@
+"""Tests for the repro.api facade: connect, Catalog, Engine, Answer."""
+
+import pytest
+
+from repro import connect
+from repro.api.catalog import Catalog
+from repro.errors import (
+    ConstraintViolationError,
+    MaterializationError,
+    QueryConstructionError,
+    SchemaError,
+)
+from repro.datalog.parser import parse_query, parse_views
+from repro.engine.database import Database
+from repro.engine.evaluate import evaluate
+from repro.materialize.delta import Delta
+
+VIEWS = """
+v_rs(A, B) :- r(A, C), s(C, B).
+v_r(A, B) :- r(A, B).
+v_s(A, B) :- s(A, B).
+"""
+DATA = "r(1, 2). r(3, 4). s(2, 5). s(4, 6)."
+QUERY = "q(X, Z) :- r(X, Y), s(Y, Z)."
+
+
+def make_engine(**kwargs):
+    options = {"views": VIEWS, "data": DATA}
+    options.update(kwargs)
+    return connect(**options)
+
+
+class TestConnect:
+    def test_accepts_text_views_and_data(self):
+        engine = make_engine()
+        assert len(engine.views) == 3
+        assert engine.database is not None
+        assert engine.database.tuples("r") == frozenset({(1, 2), (3, 4)})
+
+    def test_accepts_parsed_objects_and_mappings(self):
+        engine = connect(
+            views=parse_views(VIEWS),
+            data={"r": [(1, 2)], "s": [(2, 5)]},
+        )
+        assert sorted(engine.query(QUERY).answers()) == [(1, 5)]
+
+    def test_accepts_database_instances(self):
+        db = Database.from_dict({"r": [(1, 2)], "s": [(2, 5)]})
+        engine = connect(views=VIEWS, data=db)
+        assert engine.database is db
+
+    def test_schema_can_be_declared_in_multiple_shapes(self):
+        for schema in ({"r": 2, "s": 2}, ["r/2", "s/2"], "r/2 s/2"):
+            engine = connect(schema=schema, views=VIEWS, data=DATA)
+            assert engine.catalog.schema == {"r": 2, "s": 2}
+
+    def test_engine_is_a_context_manager(self):
+        with make_engine() as engine:
+            assert len(engine.query(QUERY).answers()) == 2
+        # close() only drops caches; the engine stays usable.
+        assert len(engine.query(QUERY).answers()) == 2
+
+
+class TestCatalogValidation:
+    def test_declared_schema_rejects_unknown_view_predicate(self):
+        with pytest.raises(SchemaError, match="undeclared relation"):
+            connect(schema={"r": 2}, views=VIEWS)
+
+    def test_views_with_conflicting_arities_rejected(self):
+        with pytest.raises(SchemaError, match="arity"):
+            connect(views="v_a(X) :- r(X, Y).\nv_b(X) :- r(X).")
+
+    def test_data_arity_must_match_schema(self):
+        with pytest.raises(SchemaError, match="arity"):
+            connect(schema={"r": 3}, views=None, data="r(1, 2).")
+
+    def test_view_names_cannot_shadow_base_relations(self):
+        with pytest.raises(SchemaError, match="shadows"):
+            Catalog(schema={"v_r": 2, "r": 2}, views="v_r(A, B) :- r(A, B).")
+
+    def test_base_data_over_view_names_is_rejected(self):
+        with pytest.raises(SchemaError, match="view_instance"):
+            connect(views=VIEWS, data="v_rs(1, 5).")
+
+    def test_queries_validated_against_declared_schema(self):
+        engine = connect(schema={"r": 2, "s": 2}, views=VIEWS, data=DATA)
+        with pytest.raises(SchemaError, match="undeclared relation"):
+            engine.query("q(X) :- missing(X).")
+        with pytest.raises(SchemaError, match="arity"):
+            engine.query("q(X) :- r(X).")
+
+    def test_inferred_schema_leaves_unknown_predicates_open(self):
+        engine = make_engine()
+        answer = engine.query("q(X) :- unrelated(X).").answers()
+        assert len(answer) == 0
+
+    def test_view_instance_must_use_view_relations(self):
+        with pytest.raises(SchemaError, match="not a view"):
+            connect(views=VIEWS, view_instance="other(1, 5).")
+
+
+class TestIntegrityConstraints:
+    CONSTRAINT = "self_loop() :- r(X, X)."
+
+    def test_violation_at_attach_time(self):
+        with pytest.raises(ConstraintViolationError) as excinfo:
+            connect(views=VIEWS, data="r(1, 1).", constraints=self.CONSTRAINT)
+        assert excinfo.value.violated == ("self_loop",)
+
+    def test_check_after_deltas(self):
+        engine = make_engine(constraints=self.CONSTRAINT)
+        assert engine.check() == ()
+        engine.apply(Delta.insertion("r", [(7, 7)]))
+        assert engine.check() == ("self_loop",)
+
+    def test_constraints_must_be_boolean(self):
+        with pytest.raises(QueryConstructionError, match="boolean"):
+            connect(views=VIEWS, constraints="bad(X) :- r(X, Y).")
+
+
+class TestAnswers:
+    def test_answers_match_direct_evaluation(self):
+        engine = make_engine()
+        answer = engine.query(QUERY).answers()
+        direct = evaluate(parse_query(QUERY), Database.from_dict(
+            {"r": [(1, 2), (3, 4)], "s": [(2, 5), (4, 6)]}
+        ))
+        assert answer.rows == direct
+
+    def test_provenance_views_plan(self):
+        engine = make_engine()
+        answer = engine.query(QUERY).answers()
+        assert answer.provenance.source == "views"
+        assert answer.provenance.kind == "equivalent"
+        assert answer.provenance.views_used == ("v_rs",)
+        assert "v_rs" in answer.provenance.rewriting
+        assert answer.provenance.executor == "compiled"
+        assert not answer.provenance.cache_hit
+
+    def test_provenance_base_fallback_and_cache_hits(self):
+        engine = connect(views="v_t(A) :- t(A).", data=DATA)
+        answer = engine.query(QUERY).answers()
+        assert answer.provenance.source == "base"
+        assert answer.provenance.rewriting is None
+        again = engine.query(QUERY).answers()
+        assert again.provenance.cache_hit
+        assert again.provenance.answered_from_cache
+        assert not answer.provenance.answered_from_cache
+        assert again.rows == answer.rows
+
+    def test_answer_behaves_like_a_set(self):
+        answer = make_engine().query(QUERY).answers()
+        assert len(answer) == 2
+        assert (1, 5) in answer
+        assert answer.sorted_rows() == [(1, 5), (3, 6)]
+        payload = answer.to_json()
+        assert payload["count"] == 2
+        assert payload["provenance"]["source"] == "views"
+
+    def test_answers_require_data(self):
+        engine = connect(views=VIEWS)
+        with pytest.raises(MaterializationError, match="no base data"):
+            engine.query(QUERY).answers()
+
+    def test_query_accepts_parsed_objects_only_of_the_right_type(self):
+        engine = make_engine()
+        prepared = engine.query(parse_query(QUERY))
+        assert len(prepared.answers()) == 2
+        with pytest.raises(QueryConstructionError):
+            engine.query(42)
+
+
+class TestCertain:
+    def test_certain_from_view_instance(self):
+        engine = connect(
+            views="v_rs(A, B) :- r(A, C), s(C, B).",
+            view_instance="v_rs(1, 5). v_rs(3, 6).",
+        )
+        answer = engine.query(QUERY).certain()
+        assert answer.rows == frozenset({(1, 5), (3, 6)})
+        assert answer.provenance.source == "certain"
+        assert answer.provenance.algorithm == "inverse-rules"
+
+    def test_certain_methods_agree_over_materialized_extents(self):
+        engine = make_engine()
+        by_rules = engine.query(QUERY).certain(method="inverse-rules")
+        by_rewriting = engine.query(QUERY).certain(method="rewriting")
+        assert by_rules.rows == by_rewriting.rows
+
+    def test_certain_requires_instance_or_data(self):
+        engine = connect(views=VIEWS)
+        with pytest.raises(MaterializationError):
+            engine.query(QUERY).certain()
+
+
+class TestDeltasAndMaintenance:
+    def test_apply_text_delta_maintains_extents(self):
+        engine = make_engine()
+        before = engine.extent("v_rs")
+        log = engine.apply("+ r(7, 2).")
+        assert "r" in log.base_predicates
+        after = engine.extent("v_rs")
+        assert after - before == frozenset({(7, 5)})
+        assert engine.verify() == []
+
+    def test_answers_reflect_deltas(self):
+        engine = make_engine()
+        assert (7, 5) not in engine.query(QUERY).answers()
+        engine.apply(Delta.insertion("r", [(7, 2)]))
+        assert (7, 5) in engine.query(QUERY).answers()
+        engine.apply(Delta.deletion("r", [(7, 2)]))
+        assert (7, 5) not in engine.query(QUERY).answers()
+
+    def test_apply_requires_data(self):
+        engine = connect(views=VIEWS)
+        with pytest.raises(MaterializationError, match="no base data"):
+            engine.apply("+ r(1, 2).")
+
+
+class TestBatchAndStats:
+    def test_batch_through_engine_configuration(self):
+        engine = make_engine()
+        report = engine.batch(
+            [QUERY, "q(A, B) :- s(C, B), r(A, C)."], with_answers=True
+        )
+        assert report.requests == 2
+        assert report.errors == 0
+        assert report.cache_hits == 1  # isomorphic second query
+        assert report.items[0].answers == 2
+
+    def test_batch_accepts_program_text(self):
+        report = make_engine().batch(QUERY)
+        assert report.requests == 1
+
+    def test_stats_expose_catalog_engine_and_session(self):
+        engine = make_engine()
+        engine.query(QUERY).answers()
+        stats = engine.stats()
+        assert stats["queries_served"] == 1
+        assert stats["catalog"]["views"] == ["v_rs", "v_r", "v_s"]
+        assert stats["catalog"]["relations"] == {"r": 2, "s": 2}
+        assert stats["session"]["requests"] == 1
+        assert stats["session"]["executor"]["executor"] == "compiled"
+
+    def test_interpreted_executor_is_honoured(self):
+        engine = make_engine(executor="interpreted")
+        answer = engine.query(QUERY).answers()
+        assert answer.provenance.executor == "interpreted"
+        assert sorted(answer) == [(1, 5), (3, 6)]

@@ -19,9 +19,11 @@ class TestConstruction:
         assert delta.inserted_rows("r") == frozenset({(1, 2), (3, 4)})
         assert delta.size() == 2
 
-    def test_insert_and_remove_of_same_row_nets_out(self):
+    def test_insert_and_remove_of_same_row_keeps_the_insertion(self):
+        # Removals apply before insertions, so delete+reinsert means the row
+        # is present afterwards — the insertion wins, the removal is dropped.
         delta = Delta(inserted={"r": [(1, 2), (3, 4)]}, removed={"r": [(1, 2)]})
-        assert delta.inserted_rows("r") == frozenset({(3, 4)})
+        assert delta.inserted_rows("r") == frozenset({(1, 2), (3, 4)})
         assert delta.removed_rows("r") == frozenset()
         assert delta.predicates() == frozenset({"r"})
 
@@ -45,11 +47,21 @@ class TestAlgebra:
         assert inverse.removed_rows("r") == frozenset({(1, 2)})
         assert inverse.inserted_rows("s") == frozenset({(3,)})
 
-    def test_merge_nets_overlap(self):
+    def test_merge_is_sequential_composition(self):
+        # d1 inserts (1,2); d2 removes it again and inserts (5,6).  The later
+        # operation wins per row: the merged delta must remove (1,2) (it may
+        # have been present before d1) and insert (5,6).
         first = Delta(inserted={"r": [(1, 2)]})
         second = Delta(removed={"r": [(1, 2)]}, inserted={"r": [(5, 6)]})
         merged = first.merge(second)
         assert merged.inserted_rows("r") == frozenset({(5, 6)})
+        assert merged.removed_rows("r") == frozenset({(1, 2)})
+
+    def test_merge_remove_then_reinsert(self):
+        first = Delta(removed={"r": [(1, 2)]})
+        second = Delta(inserted={"r": [(1, 2)]})
+        merged = first.merge(second)
+        assert merged.inserted_rows("r") == frozenset({(1, 2)})
         assert merged.removed_rows("r") == frozenset()
 
     def test_equality_and_hash(self):
@@ -77,6 +89,14 @@ class TestTextFormat:
         with pytest.raises(SchemaError):
             parse_delta("r(1, 2).")
 
+    def test_parse_folds_lines_sequentially(self):
+        # The text reads as a change script: the last line mentioning a row wins.
+        assert parse_delta("+ r(1).\n- r(1).\n") == Delta(removed={"r": [(1,)]})
+        assert parse_delta("- r(1).\n+ r(1).\n") == Delta(inserted={"r": [(1,)]})
+        assert parse_delta("+ r(1).\n- r(1).\n+ r(1).\n") == Delta(
+            inserted={"r": [(1,)]}
+        )
+
 
 class TestDatabaseApplyDelta:
     def test_effective_delta_drops_noops(self):
@@ -103,9 +123,7 @@ class TestDatabaseApplyDelta:
 
     def test_deletions_apply_before_insertions(self):
         # A row removed and a different row inserted into the same relation:
-        # both take effect (ordering is observable through the effective delta
-        # when a deletion frees the way for an insertion of the same row — the
-        # normalized Delta nets that case out, so just check both sides land).
+        # both take effect.
         db = Database.from_dict({"r": [(1, 2)]})
         effective = db.apply_delta(Delta(inserted={"r": [(5, 6)]}, removed={"r": [(1, 2)]}))
         assert effective.size() == 2
@@ -121,6 +139,14 @@ class TestDatabaseApplyDelta:
         db = Database()
         effective = db.apply_delta(Delta(removed={"ghost": [(1,)]}))
         assert effective.is_empty()
+
+    def test_delete_then_reinsert_of_absent_row_inserts_it(self):
+        # The regression the sequencing-aware normalization fixes: the old
+        # order-insensitive cancellation dropped this delta entirely.
+        db = Database.from_dict({"r": [(9, 9)]})
+        effective = db.apply_delta(Delta(inserted={"r": [(1, 2)]}, removed={"r": [(1, 2)]}))
+        assert db.tuples("r") == frozenset({(9, 9), (1, 2)})
+        assert effective.inserted_rows("r") == frozenset({(1, 2)})
 
 
 class TestDatabaseMutationRouting:

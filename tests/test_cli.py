@@ -55,7 +55,7 @@ class TestRewriteCommand:
 
     def test_parse_error_is_reported(self):
         code, _ = run_cli(["rewrite", "--query", "q(X :- r(X).", "--views", VIEWS])
-        assert code == 2
+        assert code == 65  # the documented ParseError exit code
 
 
 class TestAnswerCommand:
@@ -181,7 +181,7 @@ class TestApplyDeltaCommand:
             ["apply-delta", "--views", VIEWS, "--database", DATABASE,
              "--delta", "r(1, 2)."]
         )
-        assert code == 2
+        assert code == 68  # the documented SchemaError exit code
 
 
 class TestServeCommand:
@@ -251,6 +251,78 @@ class TestServeCommand:
         assert code == 0
         assert "error:" in output
         assert "# served 1 queries" in output  # :quit stopped the stream
+
+
+class TestExplainCommand:
+    def test_prints_the_decision_tree(self):
+        code, output = run_cli(
+            ["explain", "--query", QUERY, "--views", VIEWS, "--database", DATABASE]
+        )
+        assert code == 0
+        assert "chosen [equivalent]: q(X, Z) :- v_rs(X, Z)." in output
+        assert "target=views" in output
+        assert "scan v_rs/2" in output
+
+    def test_without_database_skips_evaluation(self):
+        code, output = run_cli(["explain", "--query", QUERY, "--views", VIEWS])
+        assert code == 0
+        assert "target=none" in output
+
+    def test_json_output_matches_schema_shape(self, tmp_path):
+        import json
+
+        path = tmp_path / "explanation.json"
+        code, _output = run_cli(
+            ["explain", "--query", QUERY, "--views", VIEWS,
+             "--database", DATABASE, "--json", str(path)]
+        )
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data["rewriting"]["found"] is True
+        assert data["evaluation"]["target"] == "views"
+        assert data["evaluation"]["plans"][0]["steps"][0]["operator"] == "scan"
+
+
+class TestErrorReporting:
+    def test_parse_error_renders_caret_context(self, capsys):
+        code = main(["rewrite", "--query", "q(X) :- r(X", "--views", VIEWS])
+        captured = capsys.readouterr()
+        assert code == 65
+        assert "error:" in captured.err
+        assert "^" in captured.err  # caret under the offending column
+
+    def test_parse_error_at_end_of_newline_terminated_input(self, capsys):
+        # "unexpected end of input" points one past the final newline; the
+        # caret renderer must caret an empty line, not crash.
+        code = main(["rewrite", "--query", "q(X) :- r(X\n", "--views", VIEWS])
+        captured = capsys.readouterr()
+        assert code == 65
+        assert "^" in captured.err
+
+    def test_distinct_exit_codes_per_error_class(self):
+        from repro import errors
+        from repro.cli import EXIT_CODES, exit_code_for
+
+        # Every documented class gets its own code; most derived class wins.
+        assert len(set(EXIT_CODES.values())) == len(EXIT_CODES)
+        assert exit_code_for(errors.ParseError("x")) == 65
+        assert exit_code_for(errors.UnsafeQueryError("x")) == 66
+        assert exit_code_for(errors.QueryConstructionError("x")) == 67
+        assert exit_code_for(errors.SchemaError("x")) == 68
+        assert exit_code_for(errors.EvaluationError("x")) == 69
+        assert exit_code_for(errors.RewritingError("x")) == 70
+        assert exit_code_for(errors.MaterializationError("x")) == 71
+        assert exit_code_for(errors.UnsupportedFeatureError("x")) == 72
+        assert exit_code_for(errors.ConstraintViolationError("x")) == 73
+        assert exit_code_for(errors.ReproError("x")) == 64
+
+    def test_materialization_error_for_missing_database(self):
+        # An empty --database attaches no data, so applying a delta hits the
+        # engine's "no base data" MaterializationError and its exit code.
+        code, _output = run_cli(
+            ["apply-delta", "--views", VIEWS, "--database", "", "--delta", "+ r(1, 2)."]
+        )
+        assert code == 71
 
 
 class TestBatchCommand:

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Public-API surface check: ``__all__`` is a contract, not an accident.
+
+The exported names of :mod:`repro` and :mod:`repro.api` are snapshotted in
+``tools/api_surface.txt``.  CI runs this script next to ``check_docs.py``;
+any drift — a name added without thought, or a supported name dropped —
+fails the build with a diff.
+
+Run from the repo root:
+
+    python tools/check_api.py            # verify against the snapshot
+    python tools/check_api.py --update   # regenerate the snapshot (then
+                                         # review the diff and commit it)
+
+The snapshot format is one ``module:name`` per line, sorted; lines starting
+with ``#`` are comments.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOT = REPO_ROOT / "tools" / "api_surface.txt"
+
+#: The modules whose ``__all__`` make up the public surface.
+MODULES = ("repro", "repro.api")
+
+HEADER = """\
+# The public API surface of the repro package — one `module:name` per line.
+#
+# This file is a CONTRACT.  tools/check_api.py (run in CI next to
+# check_docs.py) fails when the exported names drift from this snapshot.
+# To change the API deliberately: run `python tools/check_api.py --update`,
+# review the diff, and commit it together with the code change and a
+# docs/migration.md entry when a name is removed or renamed.
+"""
+
+
+def current_surface() -> list:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    lines = []
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            raise SystemExit(f"{module_name} has no __all__ — nothing to snapshot")
+        missing = [name for name in exported if not hasattr(module, name)]
+        if missing:
+            raise SystemExit(
+                f"{module_name}.__all__ lists names that do not exist: {missing}"
+            )
+        lines.extend(f"{module_name}:{name}" for name in exported)
+    return sorted(lines)
+
+
+def read_snapshot() -> list:
+    if not SNAPSHOT.exists():
+        raise SystemExit(
+            f"missing snapshot {SNAPSHOT.relative_to(REPO_ROOT)}; "
+            "run `python tools/check_api.py --update` and commit it"
+        )
+    return sorted(
+        line.strip()
+        for line in SNAPSHOT.read_text().splitlines()
+        if line.strip() and not line.startswith("#")
+    )
+
+
+def main(argv) -> int:
+    surface = current_surface()
+    if "--update" in argv[1:]:
+        SNAPSHOT.write_text(HEADER + "\n".join(surface) + "\n")
+        print(f"wrote {SNAPSHOT.relative_to(REPO_ROOT)} ({len(surface)} names)")
+        return 0
+    snapshot = read_snapshot()
+    added = sorted(set(surface) - set(snapshot))
+    removed = sorted(set(snapshot) - set(surface))
+    if not added and not removed:
+        print(f"API surface OK: {len(surface)} exported names match the snapshot")
+        return 0
+    print("public API surface drifted from tools/api_surface.txt:")
+    for name in added:
+        print(f"  + {name}  (new export — intentional? update the snapshot)")
+    for name in removed:
+        print(f"  - {name}  (removed export — breaks compatibility!)")
+    print("\nif intentional: python tools/check_api.py --update  (and commit)")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
