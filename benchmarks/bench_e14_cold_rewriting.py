@@ -1,0 +1,286 @@
+"""E14 — cold-path rewriting: indexed containment search + memo vs the naive reference.
+
+The cold-path overhaul's claims (PR 5):
+
+1. A *cold* maximally-contained rewriting request — no warm session caches;
+   the request pays MCD formation, candidate assembly, verification,
+   union construction and subsumption pruning from scratch — runs at least
+   3x faster than the retained naive reference pipeline: the seed-era
+   backtracking homomorphism search (static subgoal order, immutable
+   substitutions), no containment memo, and a fresh unfolding of each
+   candidate at every call site (soundness check, completeness check,
+   result record).
+2. The two pipelines agree *rewriting for rewriting*: the canonical forms of
+   every rewriting (union disjuncts included) match exactly, and evaluating
+   the best plan over a materialized view instance yields identical answer
+   sets.
+
+Workloads are the paper's three shapes at growing view counts; each scale is
+measured cold (the process-wide containment memo and expansion cache are
+cleared before every repetition, so nothing leaks between runs or between
+the two pipelines).  The per-workload headline speedup is the best ratio
+across its scales — cold-path pain grows with the view count, and the
+headline records the scaling point the overhaul targets.
+
+Writes the machine-readable ``BENCH_e14.json`` at the repo root.  Set
+``REPRO_BENCH_SMOKE=1`` (CI) to run reduced instances that keep every
+correctness assertion but relax the timing target, which is meaningless on
+shared runners.
+"""
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.datalog.atoms import Atom
+from repro.datalog.queries import ConjunctiveQuery, UnionQuery
+from repro.datalog.terms import Variable
+from repro.datalog.views import View, ViewSet
+from repro.engine.evaluate import evaluate, materialize_views
+from repro.containment.homomorphism import using_search_implementation
+from repro.containment.memo import global_containment_memo, memo_disabled
+from repro.rewriting.expansion import clear_expansion_cache, expansion_cache_disabled
+from repro.rewriting.minicon import MiniConRewriter
+from repro.rewriting.rewriter import rewrite
+from repro.workloads.data import (
+    random_chain_database,
+    random_database,
+    random_graph_database,
+)
+from repro.workloads.generators import (
+    chain_query,
+    chain_views,
+    complete_query,
+    complete_views,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SPEEDUP_TARGET = 1.0 if SMOKE else 3.0
+ROUNDS = 2 if SMOKE else 3
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_e14.json"
+
+
+@contextmanager
+def _reference_pipeline():
+    """The retained naive reference: seed search, no memo, per-call unfolding."""
+    MiniConRewriter.default_reference_pipeline = True
+    try:
+        with using_search_implementation("naive"), memo_disabled(), expansion_cache_disabled():
+            yield
+    finally:
+        MiniConRewriter.default_reference_pipeline = False
+
+
+def _deep_star(arms):
+    """A star with two-step arms: ``q(C, X1..Xa) :- e_i(C, Mi), f_i(Mi, Xi)``.
+
+    Views cover whole arms (the middle variable is existential), adjacent arm
+    pairs, and the two half-arm relations — the shape where the cold path's
+    repeated unfolding of multi-atom view bodies hurts the most.
+    """
+    center = Variable("C")
+    body, head_args = [], [center]
+    for arm in range(1, arms + 1):
+        middle, leaf = Variable(f"M{arm}"), Variable(f"X{arm}")
+        body += [Atom(f"e{arm}", [center, middle]), Atom(f"f{arm}", [middle, leaf])]
+        head_args.append(leaf)
+    query = ConjunctiveQuery(Atom("q", head_args), body)
+    views = []
+    for arm in range(1, arms + 1):
+        middle, leaf = Variable(f"M{arm}"), Variable(f"X{arm}")
+        name = f"v_arm{arm}"
+        views.append(View(name, ConjunctiveQuery(
+            Atom(name, [center, leaf]),
+            [Atom(f"e{arm}", [center, middle]), Atom(f"f{arm}", [middle, leaf])],
+        )))
+        e_name, f_name = f"v_e{arm}", f"v_f{arm}"
+        views.append(View(e_name, ConjunctiveQuery(
+            Atom(e_name, [center, middle]), [Atom(f"e{arm}", [center, middle])])))
+        views.append(View(f_name, ConjunctiveQuery(
+            Atom(f_name, [middle, leaf]), [Atom(f"f{arm}", [middle, leaf])])))
+    for arm in range(1, arms):
+        m1, x1 = Variable(f"M{arm}"), Variable(f"X{arm}")
+        m2, x2 = Variable(f"M{arm + 1}"), Variable(f"X{arm + 1}")
+        name = f"v_pair{arm}"
+        views.append(View(name, ConjunctiveQuery(
+            Atom(name, [center, x1, x2]),
+            [
+                Atom(f"e{arm}", [center, m1]),
+                Atom(f"f{arm}", [m1, x1]),
+                Atom(f"e{arm + 1}", [center, m2]),
+                Atom(f"f{arm + 1}", [m2, x2]),
+            ],
+        )))
+    return query, ViewSet(views)
+
+
+def _workloads():
+    """(name, query, database, [(scale label, views)]) at growing view counts."""
+    if SMOKE:
+        chain_len, chain_scales = 6, [[1, 2], [1, 2, 3]]
+        star_arms = [2, 3]
+        complete_view_counts = [2, 3]
+    else:
+        chain_len, chain_scales = 10, [[1, 2], [1, 2, 3], [1, 2, 3, 4]]
+        star_arms = [3, 4, 5]
+        complete_view_counts = [3, 4]
+    chain = (
+        "chain",
+        chain_query(chain_len),
+        random_chain_database(chain_len, tuples_per_relation=40, domain_size=25, seed=1),
+        [
+            (f"segments<= {max(seg)}", chain_views(chain_len, segment_lengths=seg))
+            for seg in chain_scales
+        ],
+    )
+    # The star workload grows the query and its view set together (two-step
+    # arms plus their covering views); the database covers every arm count.
+    star_relations = {}
+    for arm in range(1, max(star_arms) + 1):
+        star_relations[f"e{arm}"] = 2
+        star_relations[f"f{arm}"] = 2
+    star = (
+        "star",
+        None,  # per-scale (query, views) pairs
+        random_database(star_relations, tuples_per_relation=40, domain_size=20, seed=2),
+        [(f"arms={arms}", _deep_star(arms)) for arms in star_arms],
+    )
+    complete = (
+        "complete",
+        complete_query(3),
+        random_graph_database(num_nodes=20, num_edges=80, seed=3),
+        [
+            (f"views={count}",
+             complete_views(3, count, view_size=3, seed=1))
+            for count in complete_view_counts
+        ],
+    )
+    return [chain, star, complete]
+
+
+def _cold_request(query, views, reference):
+    """One cold maximally-contained rewriting request (caches cleared first)."""
+    global_containment_memo().clear()
+    clear_expansion_cache()
+    started = time.perf_counter()
+    if reference:
+        with _reference_pipeline():
+            result = rewrite(query, views, algorithm="minicon", mode="maximally-contained")
+    else:
+        result = rewrite(query, views, algorithm="minicon", mode="maximally-contained")
+    return time.perf_counter() - started, result
+
+
+def _canonical_rewritings(result):
+    """Order/renaming-insensitive signature of every rewriting in a result."""
+    out = []
+    for rewriting in result.rewritings:
+        disjuncts = (
+            rewriting.query.disjuncts
+            if isinstance(rewriting.query, UnionQuery)
+            else (rewriting.query,)
+        )
+        out.append(tuple(sorted(str(d.canonical()) for d in disjuncts)))
+    return sorted(out)
+
+
+def _best_plan_answers(result, views, database):
+    """Rows of the result's best plan over the materialized view instance."""
+    best = result.best
+    if best is None:
+        return frozenset()
+    instance = materialize_views(views, database)
+    return evaluate(best.query, instance)
+
+
+def _measure_scale(query, views, database):
+    new_times, ref_times = [], []
+    new_result = ref_result = None
+    for _ in range(ROUNDS):
+        elapsed, new_result = _cold_request(query, views, reference=False)
+        new_times.append(elapsed)
+    for _ in range(ROUNDS):
+        elapsed, ref_result = _cold_request(query, views, reference=True)
+        ref_times.append(elapsed)
+    rewriting_mismatch = int(
+        _canonical_rewritings(ref_result) != _canonical_rewritings(new_result)
+    )
+    answer_mismatch = int(
+        _best_plan_answers(ref_result, views, database)
+        != _best_plan_answers(new_result, views, database)
+    )
+    new_best, ref_best = min(new_times), min(ref_times)
+    return {
+        "views": len(views),
+        "rewritings": len(new_result.rewritings),
+        "reference_seconds": ref_best,
+        "optimized_seconds": new_best,
+        "reference_qps": 1.0 / ref_best,
+        "optimized_qps": 1.0 / new_best,
+        "speedup": ref_best / new_best,
+        "rewriting_mismatches": rewriting_mismatch,
+        "answer_mismatches": answer_mismatch,
+    }
+
+
+def _measure_workload(name, query, database, scales):
+    rows = []
+    for label, scale in scales:
+        if query is None:  # per-scale (query, views) pairs — the star workload
+            scale_query, views = scale
+        else:
+            scale_query, views = query, scale
+        row = {"scale": label}
+        row.update(_measure_scale(scale_query, views, database))
+        rows.append(row)
+    return {
+        "workload": name,
+        "scales": rows,
+        "speedup": max(row["speedup"] for row in rows),
+        "rewriting_mismatches": sum(row["rewriting_mismatches"] for row in rows),
+        "answer_mismatches": sum(row["answer_mismatches"] for row in rows),
+    }
+
+
+def _run_all(result_path=RESULT_PATH):
+    results = {}
+    for name, query, database, scales in _workloads():
+        results[name] = _measure_workload(name, query, database, scales)
+    payload = {
+        "experiment": "E14",
+        "smoke": SMOKE,
+        "speedup_target": SPEEDUP_TARGET,
+        "rounds": ROUNDS,
+        "workloads": results,
+        "rewriting_mismatches": sum(w["rewriting_mismatches"] for w in results.values()),
+        "answer_mismatches": sum(w["answer_mismatches"] for w in results.values()),
+    }
+    if result_path is not None:
+        Path(result_path).write_text(json.dumps(payload, indent=2))
+    return results
+
+
+def test_e14_cold_rewriting(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    benchmark.extra_info["experiment"] = "E14"
+    print()
+    print(f"E14: cold maximally-contained rewriting, optimized vs naive reference "
+          f"({ROUNDS} cold rounds each, best-of)")
+    for name, row in results.items():
+        for scale in row["scales"]:
+            print(
+                f"  {name:<9} {scale['scale']:<14} ref {scale['reference_qps']:7.1f} q/s   "
+                f"new {scale['optimized_qps']:7.1f} q/s   speedup {scale['speedup']:5.2f}x"
+            )
+        print(f"  {name:<9} headline speedup {row['speedup']:5.2f}x")
+    for name, row in results.items():
+        # Correctness first: the two pipelines agree on every scale.
+        assert row["rewriting_mismatches"] == 0, f"{name}: rewriting mismatch"
+        assert row["answer_mismatches"] == 0, f"{name}: answer mismatch"
+        # Headline claim: the overhauled cold path beats the naive reference.
+        assert row["speedup"] >= SPEEDUP_TARGET, (
+            f"{name}: cold speedup {row['speedup']:.2f}x below target {SPEEDUP_TARGET}x"
+        )
+    assert RESULT_PATH.exists()

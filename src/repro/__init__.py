@@ -69,6 +69,7 @@ from repro.datalog import (
     to_datalog,
 )
 from repro.containment import (
+    containment_memo_stats,
     is_contained,
     is_equivalent,
     is_satisfiable,
@@ -191,6 +192,7 @@ __all__ = [
     "certain_answers",
     "choose_best_plan",
     "connect",
+    "containment_memo_stats",
     "enumerate_plans",
     "estimate_cost",
     "evaluate",

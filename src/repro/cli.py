@@ -307,11 +307,19 @@ def _print_session_stats(engine, out) -> None:
     stats = engine.stats()["session"]
     rewrite_stats = stats["rewrite_cache"]
     index_stats = stats["view_index"]
+    memo_stats = stats.get("containment_memo")
     print(
         f"# cache: {rewrite_stats['hits']} hits / {rewrite_stats['misses']} misses "
         f"(rate {rewrite_stats['hit_rate']:.2f}), {rewrite_stats['evictions']} evictions",
         file=out,
     )
+    if memo_stats is not None:
+        print(
+            f"# containment memo: {memo_stats['hits']} hits / {memo_stats['misses']} misses "
+            f"(rate {memo_stats['hit_rate']:.2f}), {memo_stats['guard_rejections']} guard "
+            f"rejections, {memo_stats['bypasses']} bypasses",
+            file=out,
+        )
     if index_stats is not None:
         print(
             f"# view index: {index_stats['views_pruned']} views pruned, "

@@ -21,9 +21,15 @@ computes minimal equivalent queries (cores).
 
 from repro.containment.homomorphism import (
     containment_mappings,
+    count_containment_mappings,
     find_containment_mapping,
     find_homomorphism,
     homomorphisms,
+    naive_containment_mappings,
+    naive_homomorphisms,
+    search_implementation,
+    set_search_implementation,
+    using_search_implementation,
 )
 from repro.containment.constraints import ComparisonSet
 from repro.containment.containment import (
@@ -34,14 +40,24 @@ from repro.containment.containment import (
     union_contained_in,
     union_equivalent,
 )
+from repro.containment.memo import (
+    ContainmentMemo,
+    containment_memo_stats,
+    global_containment_memo,
+    memo_disabled,
+)
 from repro.containment.minimize import is_minimal, minimize
 from repro.containment.interpreted import interpreted_contained
 
 __all__ = [
     "ComparisonSet",
+    "ContainmentMemo",
     "containment_mappings",
+    "containment_memo_stats",
+    "count_containment_mappings",
     "find_containment_mapping",
     "find_homomorphism",
+    "global_containment_memo",
     "homomorphisms",
     "interpreted_contained",
     "is_contained",
@@ -49,7 +65,13 @@ __all__ = [
     "is_equivalent",
     "is_minimal",
     "is_satisfiable",
+    "memo_disabled",
     "minimize",
+    "naive_containment_mappings",
+    "naive_homomorphisms",
+    "search_implementation",
+    "set_search_implementation",
     "union_contained_in",
     "union_equivalent",
+    "using_search_implementation",
 ]

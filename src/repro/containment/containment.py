@@ -9,6 +9,7 @@ from repro.datalog.queries import ConjunctiveQuery, UnionQuery, as_union
 from repro.containment.constraints import ComparisonSet
 from repro.containment.homomorphism import find_containment_mapping
 from repro.containment.interpreted import interpreted_contained
+from repro.containment.memo import global_containment_memo
 
 QueryLike = Union[ConjunctiveQuery, UnionQuery]
 
@@ -25,13 +26,24 @@ def is_satisfiable(query: ConjunctiveQuery) -> bool:
     return ComparisonSet(query.comparisons).is_satisfiable()
 
 
-def _cq_contained(query: ConjunctiveQuery, container: ConjunctiveQuery) -> bool:
-    """Containment of a single CQ in a single CQ."""
-    if not is_satisfiable(query):
-        return True
+def _cq_contained_search(query: ConjunctiveQuery, container: ConjunctiveQuery) -> bool:
+    """The uncached decision procedure (``query`` known to be satisfiable)."""
     if not query.comparisons and not container.comparisons:
         return find_containment_mapping(container, query) is not None
     return interpreted_contained(query, container)
+
+
+def _cq_contained(query: ConjunctiveQuery, container: ConjunctiveQuery) -> bool:
+    """Containment of a single CQ in a single CQ.
+
+    Satisfiability is decided first (an unsatisfiable query is contained in
+    everything); after that, cheap necessary conditions and the shared
+    fingerprint-keyed memo (:mod:`repro.containment.memo`) short-circuit the
+    search whenever possible.
+    """
+    if not is_satisfiable(query):
+        return True
+    return global_containment_memo().contained(query, container, _cq_contained_search)
 
 
 def is_contained(query: QueryLike, container: QueryLike) -> bool:

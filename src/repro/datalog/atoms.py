@@ -24,28 +24,38 @@ class Atom:
     An atom with an empty argument list is allowed (a propositional fact).
     """
 
-    __slots__ = ("predicate", "args")
+    __slots__ = ("predicate", "args", "_hash", "_const_positions", "_sort_key")
 
     def __init__(self, predicate: str, args: Iterable[Any] = ()):
         if not predicate or not isinstance(predicate, str):
             raise QueryConstructionError("atom predicate must be a non-empty string")
-        terms = tuple(make_term(a) for a in args)
-        object.__setattr__(self, "predicate", predicate)
-        object.__setattr__(self, "args", terms)
+        terms = tuple([a if isinstance(a, Term) else make_term(a) for a in args])
+        const_positions = []
+        for position, term in enumerate(terms):
+            if isinstance(term, Constant):
+                const_positions.append((position, term))
+        set_slot = object.__setattr__
+        set_slot(self, "predicate", predicate)
+        set_slot(self, "args", terms)
+        set_slot(self, "_hash", hash((predicate, terms)))
+        set_slot(self, "_const_positions", tuple(const_positions))
 
     def __setattr__(self, key: str, value: Any) -> None:  # pragma: no cover
         raise AttributeError("Atom is immutable")
 
     # -- basic protocol ----------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return (
             isinstance(other, Atom)
+            and other._hash == self._hash
             and other.predicate == self.predicate
             and other.args == self.args
         )
 
     def __hash__(self) -> int:
-        return hash((self.predicate, self.args))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Atom({self.predicate!r}, {list(self.args)!r})"
@@ -68,6 +78,17 @@ class Atom:
     def signature(self) -> Tuple[str, int]:
         """The (predicate name, arity) pair identifying the relation."""
         return (self.predicate, len(self.args))
+
+    @property
+    def const_positions(self) -> Tuple[Tuple[int, Constant], ...]:
+        """The (argument position, constant) pairs of the atom, precomputed.
+
+        This is the atom's *constant signature*: a homomorphism can map this
+        atom onto a target only if the target carries the same constant at
+        each of these positions, so the containment search uses it as an O(1)
+        fail-fast filter when building candidate lists.
+        """
+        return self._const_positions
 
     def variables(self) -> Tuple[Variable, ...]:
         """The variables of the atom (recursing into function terms), in order."""
@@ -101,8 +122,14 @@ class Atom:
         return Atom(predicate, self.args)
 
     def sort_key(self) -> tuple:
-        """A deterministic sort key used to canonicalize bodies."""
-        return (self.predicate, len(self.args), tuple(term_sort_key(t) for t in self.args))
+        """A deterministic sort key used to canonicalize bodies (computed once)."""
+        try:
+            return self._sort_key
+        except AttributeError:
+            pass
+        key = (self.predicate, len(self.args), tuple(term_sort_key(t) for t in self.args))
+        object.__setattr__(self, "_sort_key", key)
+        return key
 
 
 class ComparisonOperator(enum.Enum):

@@ -24,7 +24,19 @@ class ConjunctiveQuery:
     rewriting constructions temporarily build unsafe queries).
     """
 
-    __slots__ = ("head", "body", "comparisons")
+    __slots__ = (
+        "head",
+        "body",
+        "comparisons",
+        # Lazily computed caches (queries are immutable, so computing each
+        # once is sound): the structural hash, the variable tuple, the cheap
+        # canonical form, and the canonical fingerprint text the containment
+        # memo keys verdicts by (filled in by repro.containment.memo).
+        "_hash",
+        "_variables",
+        "_canonical",
+        "_fingerprint_text",
+    )
 
     def __init__(
         self,
@@ -84,13 +96,21 @@ class ConjunctiveQuery:
         )
 
     def __hash__(self) -> int:
-        return hash(
+        # Hashing sorts the body (order-insensitive equality), so the value is
+        # computed once and cached; queries are immutable.
+        try:
+            return self._hash
+        except AttributeError:
+            pass
+        value = hash(
             (
                 self.head,
                 tuple(sorted(self.body, key=Atom.sort_key)),
                 tuple(sorted(self.comparisons, key=Comparison.sort_key)),
             )
         )
+        object.__setattr__(self, "_hash", value)
+        return value
 
     def __repr__(self) -> str:
         return f"ConjunctiveQuery({self!s})"
@@ -131,6 +151,10 @@ class ConjunctiveQuery:
 
     def variables(self) -> Tuple[Variable, ...]:
         """All variables of the query (head, body, comparisons), in order of occurrence."""
+        try:
+            return self._variables
+        except AttributeError:
+            pass
         seen: list[Variable] = []
         for source in (self.head.variables(), self.body_variables()):
             for var in source:
@@ -140,7 +164,9 @@ class ConjunctiveQuery:
             for var in comparison.variables():
                 if var not in seen:
                     seen.append(var)
-        return tuple(seen)
+        result = tuple(seen)
+        object.__setattr__(self, "_variables", result)
+        return result
 
     def existential_variables(self) -> Tuple[Variable, ...]:
         """Variables of the body that are not distinguished."""
@@ -240,6 +266,10 @@ class ConjunctiveQuery:
         and duplicate elimination, not a graph-isomorphism test (use
         ``containment.is_equivalent`` for semantic equivalence).
         """
+        try:
+            return self._canonical
+        except AttributeError:
+            pass
         ordered_body = sorted(self.body, key=Atom.sort_key)
         mapping: Dict[Variable, Variable] = {}
 
@@ -257,12 +287,14 @@ class ConjunctiveQuery:
             for var in comparison.variables():
                 canon(var)
         substitution = Substitution(dict(mapping))
-        return ConjunctiveQuery(
+        result = ConjunctiveQuery(
             substitution.apply_atom(self.head),
             sorted(substitution.apply_atoms(ordered_body), key=Atom.sort_key),
             sorted(substitution.apply_comparisons(self.comparisons), key=Comparison.sort_key),
             require_safe=False,
         )
+        object.__setattr__(self, "_canonical", result)
+        return result
 
     def freshened_against(
         self, other: "ConjunctiveQuery | Iterable[Variable]"

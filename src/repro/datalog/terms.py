@@ -2,11 +2,23 @@
 
 Terms are immutable and hashable so they can be freely used as dictionary
 keys and members of sets (substitutions, canonical databases, join keys).
+
+Because the containment search and the rewriting algorithms hash and compare
+terms in their innermost loops, terms precompute their hash at construction
+time, and :class:`Variable` / :class:`Constant` are *interned*: constructing
+the same variable name (or the same constant value-and-type) twice returns
+the same object, so equality checks hit CPython's identity fast path.  The
+intern tables are bounded; once full, construction simply stops interning
+(fresh-variable factories can mint unbounded numbers of one-shot names).
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Tuple, Union
+from typing import Any, Dict, Iterable, Tuple, Union
+
+#: Bound on each intern table.  Parser-produced names intern early and stay;
+#: the cap only stops one-shot fresh variables from growing the table forever.
+_INTERN_LIMIT = 1 << 16
 
 
 class Term:
@@ -36,21 +48,40 @@ class Variable(Term):
     itself accepts any non-empty string.
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
+
+    _interned: Dict[str, "Variable"] = {}
+
+    def __new__(cls, name: str = ""):
+        if cls is Variable:
+            cached = Variable._interned.get(name)
+            if cached is not None:
+                return cached
+        return super().__new__(cls)
 
     def __init__(self, name: str):
+        try:
+            self._hash  # already initialised: the interned instance was returned
+            return
+        except AttributeError:
+            pass
         if not name:
             raise ValueError("variable name must be a non-empty string")
         object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash(("var", name)))
+        if type(self) is Variable and len(Variable._interned) < _INTERN_LIMIT:
+            Variable._interned[name] = self
 
     def __setattr__(self, key: str, value: Any) -> None:  # pragma: no cover
         raise AttributeError("Variable is immutable")
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return isinstance(other, Variable) and other.name == self.name
 
     def __hash__(self) -> int:
-        return hash(("var", self.name))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Variable({self.name!r})"
@@ -77,23 +108,49 @@ class Constant(Term):
     mirrors Python semantics, which is what the engine relies on for joins).
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
+
+    # Keyed by (type, value): Constant(1), Constant(1.0) and Constant(True)
+    # compare equal but print differently, so they must stay distinct objects.
+    _interned: Dict[Tuple[type, ConstantValue], "Constant"] = {}
+
+    def __new__(cls, value: ConstantValue = ""):
+        if cls is Constant:
+            try:
+                cached = Constant._interned.get((value.__class__, value))
+            except TypeError:  # unhashable value; __init__ raises the TypeError
+                cached = None
+            if cached is not None:
+                return cached
+        return super().__new__(cls)
 
     def __init__(self, value: ConstantValue):
+        try:
+            self._hash  # already initialised: the interned instance was returned
+            return
+        except AttributeError:
+            pass
         if not isinstance(value, (str, int, float, bool)):
             raise TypeError(
                 f"constant values must be str, int, float or bool, got {type(value).__name__}"
             )
         object.__setattr__(self, "value", value)
+        # hash(1) == hash(1.0) == hash(True), so equal constants (numbers
+        # compare numerically) still hash identically after precomputation.
+        object.__setattr__(self, "_hash", hash(("const", value)))
+        if type(self) is Constant and len(Constant._interned) < _INTERN_LIMIT:
+            Constant._interned[(value.__class__, value)] = self
 
     def __setattr__(self, key: str, value: Any) -> None:  # pragma: no cover
         raise AttributeError("Constant is immutable")
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return isinstance(other, Constant) and other.value == self.value
 
     def __hash__(self) -> int:
-        return hash(("const", self.value))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Constant({self.value!r})"
@@ -118,7 +175,7 @@ class FunctionTerm(Term):
     existential variables.  The engine grounds them into opaque Skolem values.
     """
 
-    __slots__ = ("function", "args")
+    __slots__ = ("function", "args", "_hash")
 
     def __init__(self, function: str, args: Iterable["Term"] = ()):
         if not function:
@@ -129,11 +186,14 @@ class FunctionTerm(Term):
                 raise TypeError(f"function term arguments must be terms, got {arg!r}")
         object.__setattr__(self, "function", function)
         object.__setattr__(self, "args", arg_tuple)
+        object.__setattr__(self, "_hash", hash(("func", function, arg_tuple)))
 
     def __setattr__(self, key: str, value: Any) -> None:  # pragma: no cover
         raise AttributeError("FunctionTerm is immutable")
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return (
             isinstance(other, FunctionTerm)
             and other.function == self.function
@@ -141,7 +201,7 @@ class FunctionTerm(Term):
         )
 
     def __hash__(self) -> int:
-        return hash(("func", self.function, self.args))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"FunctionTerm({self.function!r}, {list(self.args)!r})"

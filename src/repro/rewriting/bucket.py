@@ -34,7 +34,7 @@ from repro.datalog.substitution import Substitution, unify_atoms
 from repro.datalog.terms import Constant, Term, Variable
 from repro.datalog.views import View, ViewSet
 from repro.containment.minimize import minimize
-from repro.rewriting.expansion import expand_query
+from repro.rewriting.expansion import cached_expand_query
 from repro.rewriting.plans import Rewriting, RewritingKind, RewritingResult
 from repro.rewriting.verify import is_complete_rewriting, is_contained_rewriting
 
@@ -288,7 +288,7 @@ class BucketRewriter:
                         views_used=tuple(
                             dict.fromkeys(a.predicate for a in repaired.body)
                         ),
-                        expansion=expand_query(repaired, self.views),
+                        expansion=cached_expand_query(repaired, self.views),
                     )
                 )
         return result
@@ -307,7 +307,7 @@ class BucketRewriter:
         """
         if is_contained_rewriting(candidate, query, self.views):
             return [candidate]
-        expansion = expand_query(candidate, self.views)
+        expansion = cached_expand_query(candidate, self.views)
         if expansion is None:
             return []
         variants: List[ConjunctiveQuery] = []

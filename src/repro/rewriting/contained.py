@@ -17,16 +17,23 @@ from repro.datalog.queries import ConjunctiveQuery, UnionQuery
 from repro.datalog.views import View, ViewSet
 from repro.containment.containment import is_contained
 from repro.rewriting.bucket import BucketRewriter
-from repro.rewriting.expansion import expand_rewriting
+from repro.rewriting.expansion import cached_expand_query, cached_expand_rewriting
 from repro.rewriting.minicon import MiniConRewriter
 from repro.rewriting.plans import Rewriting, RewritingKind
 
 
-def _prune_subsumed(disjuncts: List[ConjunctiveQuery], views: ViewSet) -> List[ConjunctiveQuery]:
-    """Drop disjuncts whose expansion is contained in another disjunct's expansion."""
-    expansions = []
-    for disjunct in disjuncts:
-        expansions.append(expand_rewriting(disjunct, views))
+def _prune_subsumed(
+    disjuncts: List[ConjunctiveQuery], views: ViewSet
+) -> List[ConjunctiveQuery]:
+    """Drop disjuncts whose expansion is contained in another disjunct's expansion.
+
+    Each disjunct is expanded exactly once per pruning pass — through the
+    shared expansion cache, so the generating algorithm's own unfoldings are
+    reused here and the caller's final union expansion reuses these — and the
+    pairwise containment checks on the expansions are served by the
+    fingerprint memo on repeats.
+    """
+    expansions = [cached_expand_query(disjunct, views) for disjunct in disjuncts]
     keep: List[bool] = [True] * len(disjuncts)
     for i, expansion_i in enumerate(expansions):
         if expansion_i is None:
@@ -37,7 +44,10 @@ def _prune_subsumed(disjuncts: List[ConjunctiveQuery], views: ViewSet) -> List[C
                 continue
             if is_contained(expansion_i, expansion_j):
                 # Break ties deterministically: prefer the earlier disjunct.
-                if not (is_contained(expansion_j, expansion_i) and j > i):
+                # The cheap index comparison goes first so the reverse
+                # containment check is skipped entirely when the tie-break
+                # could not save the disjunct anyway (j < i).
+                if not (j > i and is_contained(expansion_j, expansion_i)):
                     keep[i] = False
                     break
     return [d for d, kept in zip(disjuncts, keep) if kept]
@@ -99,5 +109,5 @@ def maximally_contained_rewriting(
                 for atom in disjunct.body
             )
         ),
-        expansion=expand_rewriting(union, view_set),
+        expansion=cached_expand_rewriting(union, view_set),
     )

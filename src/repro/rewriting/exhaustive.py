@@ -25,7 +25,7 @@ from repro.datalog.terms import Constant, Variable
 from repro.datalog.views import View, ViewSet
 from repro.containment.minimize import minimize
 from repro.rewriting.candidates import candidate_view_atoms
-from repro.rewriting.expansion import expand_query
+from repro.rewriting.expansion import cached_expand_query
 from repro.rewriting.plans import Rewriting, RewritingKind, RewritingResult
 from repro.rewriting.verify import is_complete_rewriting
 
@@ -165,7 +165,7 @@ class ExhaustiveRewriter:
                     views_used=tuple(
                         dict.fromkeys(a.predicate for a in candidate.body)
                     ),
-                    expansion=expand_query(candidate, self.views),
+                    expansion=cached_expand_query(candidate, self.views),
                 )
                 result.rewritings.append(rewriting)
                 if not self.find_all:

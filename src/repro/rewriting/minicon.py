@@ -40,7 +40,8 @@ from repro.datalog.queries import ConjunctiveQuery
 from repro.datalog.substitution import Substitution, unify_atoms
 from repro.datalog.terms import Constant, Term, Variable
 from repro.datalog.views import View, ViewSet
-from repro.rewriting.expansion import expand_query
+from repro.containment.containment import is_contained
+from repro.rewriting.expansion import cached_expand_query, expand_query
 from repro.rewriting.plans import Rewriting, RewritingKind, RewritingResult
 from repro.rewriting.verify import is_complete_rewriting, is_contained_rewriting
 
@@ -95,9 +96,23 @@ class MiniConRewriter:
         formation for each view; views it rejects are skipped entirely.  Used
         by the serving layer's view-relevance index to prune views that cannot
         contribute (see :mod:`repro.service.view_index`).
+    reference_pipeline:
+        When true, candidates are verified and classified the way the seed
+        implementation did — soundness, completeness and the result record
+        each unfold the candidate separately through :mod:`verify` — instead
+        of sharing one expansion and one containment search per direction.
+        Combined with the naive search and a disabled memo this reproduces
+        the pre-overhaul cold path; it exists solely as the baseline of the
+        E14 cold-rewriting benchmark.  ``None`` (the default) falls back to
+        the class attribute :attr:`default_reference_pipeline`, which the
+        benchmark flips so rewriters constructed deep inside ``rewrite()``
+        follow suit.
     """
 
     algorithm_name = "minicon"
+
+    #: Class-wide default for ``reference_pipeline`` (see above).
+    default_reference_pipeline = False
 
     def __init__(
         self,
@@ -105,11 +120,17 @@ class MiniConRewriter:
         verify_rewritings: bool = True,
         max_rewritings: Optional[int] = None,
         candidate_filter: Optional["Callable[[ConjunctiveQuery, View], bool]"] = None,
+        reference_pipeline: Optional[bool] = None,
     ):
         self.views = views if isinstance(views, ViewSet) else ViewSet(list(views))
         self.verify_rewritings = verify_rewritings
         self.max_rewritings = max_rewritings
         self.candidate_filter = candidate_filter
+        self.reference_pipeline = (
+            MiniConRewriter.default_reference_pipeline
+            if reference_pipeline is None
+            else reference_pipeline
+        )
 
     # -- phase 1: MCD formation -----------------------------------------------
     def form_mcds(self, query: ConjunctiveQuery) -> List[MCD]:
@@ -288,8 +309,15 @@ class MiniConRewriter:
                     yield from search(uncovered - mcd.covered, chosen)
                     chosen.pop()
 
+        # One fresh-variable factory serves every combination: rebuilding the
+        # reserved-name set per candidate was a measurable share of the cold
+        # path, and fresh names only need to avoid the query's variables and
+        # each other within a candidate (which a shared factory preserves).
+        factory = FreshVariableFactory(
+            reserved=[v.name for v in query.variables()], prefix="_MC"
+        )
         for combination in search(all_indices, []):
-            rewriting = self._assemble(query, combination)
+            rewriting = self._assemble(query, combination, factory=factory)
             if rewriting is not None:
                 yield rewriting
 
@@ -298,12 +326,14 @@ class MiniConRewriter:
         query: ConjunctiveQuery,
         combination: Tuple[MCD, ...],
         base_indices: Iterable[int] = (),
+        factory: Optional[FreshVariableFactory] = None,
     ) -> Optional[ConjunctiveQuery]:
         """Build the conjunctive rewriting for one MCD combination.
 
         ``base_indices`` lists query subgoals to keep as base-relation atoms in
         the rewriting body (used by partial rewritings, where the views cover
-        only part of the query).
+        only part of the query).  ``factory`` optionally supplies a shared
+        fresh-variable factory (reserved against the query's variables).
         """
         # Union-find over query variables induced by the MCDs' merges.
         parent: Dict[Variable, Variable] = {}
@@ -341,9 +371,10 @@ class MiniConRewriter:
                 return None
             constants[root] = constant
 
-        factory = FreshVariableFactory(
-            reserved=[v.name for v in query.variables()], prefix="_MC"
-        )
+        if factory is None:
+            factory = FreshVariableFactory(
+                reserved=[v.name for v in query.variables()], prefix="_MC"
+            )
         body: List[Atom] = []
         for mcd_index, mcd in enumerate(combination):
             fresh_cache: Dict[int, Variable] = {}
@@ -395,20 +426,66 @@ class MiniConRewriter:
         mcds = self.form_mcds(query)
         if not mcds:
             return result
-        seen: set = set()
+        # Candidate dedup (up to renaming / subgoal order).  The expensive
+        # canonical form is only computed when a cheap renaming-invariant
+        # key — head signature and constants, body predicate multiset,
+        # comparison operator multiset — collides; for typical workloads
+        # most combinations are already distinct at the invariant level, so
+        # most candidates never canonicalize at all.
+        seen: Dict[tuple, List[ConjunctiveQuery]] = {}
         for candidate in self.combine(query, mcds):
             if self.max_rewritings is not None and len(result.rewritings) >= self.max_rewritings:
                 break
             result.candidates_examined += 1
-            key = candidate.canonical()
-            if key in seen:
+            prekey = (
+                candidate.head.predicate,
+                len(candidate.head.args),
+                candidate.head.const_positions,
+                tuple(sorted(atom.predicate for atom in candidate.body)),
+                tuple(sorted(c.op.value for c in candidate.comparisons)),
+            )
+            bucket = seen.setdefault(prekey, [])
+            if bucket:
+                canonical = candidate.canonical()
+                if any(canonical == other.canonical() for other in bucket):
+                    continue
+            bucket.append(candidate)
+            if self.reference_pipeline:
+                # Seed-era pipeline: each check unfolds the candidate again.
+                if verify and not is_contained_rewriting(candidate, query, self.views):
+                    continue
+                expansion = expand_query(candidate, self.views)
+                kind = (
+                    RewritingKind.EQUIVALENT
+                    if is_complete_rewriting(candidate, query, self.views)
+                    else RewritingKind.CONTAINED
+                )
+                result.rewritings.append(
+                    Rewriting(
+                        query=candidate,
+                        kind=kind,
+                        algorithm=self.algorithm_name,
+                        views_used=tuple(
+                            dict.fromkeys(a.predicate for a in candidate.body)
+                        ),
+                        expansion=expansion,
+                    )
+                )
                 continue
-            seen.add(key)
-            if verify and not is_contained_rewriting(candidate, query, self.views):
+            # One unfolding serves the soundness check, the completeness
+            # check and the result record (it used to be computed three
+            # times), and the soundness direction doubles as the forward
+            # half of the equivalence test, so each candidate needs at most
+            # one containment search per direction.  An unsatisfiable
+            # expansion is vacuously sound and never complete, matching the
+            # verify.py semantics.
+            expansion = cached_expand_query(candidate, self.views)
+            forward = expansion is not None and is_contained(expansion, query)
+            if verify and expansion is not None and not forward:
                 continue
             kind = (
                 RewritingKind.EQUIVALENT
-                if is_complete_rewriting(candidate, query, self.views)
+                if forward and is_contained(query, expansion)
                 else RewritingKind.CONTAINED
             )
             result.rewritings.append(
@@ -417,7 +494,7 @@ class MiniConRewriter:
                     kind=kind,
                     algorithm=self.algorithm_name,
                     views_used=tuple(dict.fromkeys(a.predicate for a in candidate.body)),
-                    expansion=expand_query(candidate, self.views),
+                    expansion=expansion,
                 )
             )
         return result

@@ -20,7 +20,7 @@ from typing import Iterable, Iterator, List, Optional, Tuple
 from repro.datalog.queries import ConjunctiveQuery
 from repro.datalog.views import View, ViewSet
 from repro.containment.minimize import minimize
-from repro.rewriting.expansion import expand_query
+from repro.rewriting.expansion import cached_expand_query
 from repro.rewriting.minicon import MCD, MiniConRewriter
 from repro.rewriting.plans import Rewriting, RewritingKind
 from repro.rewriting.verify import is_complete_rewriting
@@ -103,7 +103,7 @@ def partial_rewritings(
                         a.predicate for a in candidate.body if view_set.is_view_predicate(a.predicate)
                     )
                 ),
-                expansion=expand_query(candidate, view_set),
+                expansion=cached_expand_query(candidate, view_set),
             )
         )
     return results

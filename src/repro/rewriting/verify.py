@@ -7,7 +7,7 @@ from typing import Union
 from repro.datalog.queries import ConjunctiveQuery, UnionQuery
 from repro.datalog.views import ViewSet
 from repro.containment.containment import is_contained, is_equivalent
-from repro.rewriting.expansion import expand_rewriting
+from repro.rewriting.expansion import cached_expand_rewriting
 
 
 def is_contained_rewriting(
@@ -19,8 +19,11 @@ def is_contained_rewriting(
 
     A contained rewriting is *sound*: evaluated over any view instance derived
     from a database ``D``, it returns only answers of the query over ``D``.
+    The expansion comes from the shared expansion cache, so the soundness
+    check, the completeness check and the result record of one candidate all
+    reuse a single unfolding.
     """
-    expansion = expand_rewriting(rewriting, views)
+    expansion = cached_expand_rewriting(rewriting, views)
     if expansion is None:
         return True  # an unsatisfiable rewriting returns nothing, vacuously sound
     return is_contained(expansion, query)
@@ -37,7 +40,7 @@ def is_complete_rewriting(
     evaluating the rewriting over the materialized views yields exactly the
     query's answers.
     """
-    expansion = expand_rewriting(rewriting, views)
+    expansion = cached_expand_rewriting(rewriting, views)
     if expansion is None:
         return False
     return is_equivalent(expansion, query)

@@ -45,6 +45,7 @@ from repro.datalog.queries import ConjunctiveQuery, UnionQuery
 from repro.datalog.substitution import Substitution
 from repro.datalog.views import View, ViewSet
 from repro.containment.containment import is_contained
+from repro.containment.memo import containment_memo_stats
 from repro.engine.database import Database
 from repro.engine.evaluate import evaluate
 from repro.exec import EXECUTORS, CompiledExecutor, InterpretedExecutor
@@ -517,5 +518,11 @@ class RewritingSession:
             "translation_cache": self._translation_cache.stats(),
             "answer_cache": self._answer_cache.stats(),
             "containment_cache": self._containment_cache.stats(),
+            # The process-wide containment memo (fingerprint-keyed verdicts
+            # plus guard/bypass accounting) behind every is_contained call
+            # this session issues — including the rewriting algorithms' own
+            # verification, which the session-local containment_cache above
+            # never sees.
+            "containment_memo": containment_memo_stats(),
             "view_index": self._index.stats() if self._index is not None else None,
         }

@@ -1,0 +1,42 @@
+"""Tier-1 guard: the E14 cold-rewriting benchmark reports zero mismatches.
+
+The benchmark itself asserts its speedup target (meaningless on shared
+machines), but the *correctness* half — the optimized cold path and the
+retained naive reference agree rewriting-for-rewriting and answer-for-answer
+— must hold everywhere, so it runs in the tier-1 suite in smoke mode against
+a throwaway output path (the recorded ``BENCH_e14.json`` artifact is not
+touched).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+BENCH_PATH = (
+    Path(__file__).resolve().parent.parent.parent
+    / "benchmarks"
+    / "bench_e14_cold_rewriting.py"
+)
+
+
+def _load_benchmark(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SMOKE", "1")
+    spec = importlib.util.spec_from_file_location("bench_e14_smoke", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    monkeypatch.setitem(sys.modules, "bench_e14_smoke", module)
+    spec.loader.exec_module(module)
+    assert module.SMOKE, "smoke mode must be active for the tier-1 run"
+    return module
+
+
+def test_e14_smoke_reports_zero_mismatches(monkeypatch, tmp_path):
+    bench = _load_benchmark(monkeypatch)
+    results = bench._run_all(result_path=tmp_path / "BENCH_e14.json")
+    assert set(results) == {"chain", "star", "complete"}
+    for name, row in results.items():
+        assert row["rewriting_mismatches"] == 0, f"{name}: rewriting mismatch"
+        assert row["answer_mismatches"] == 0, f"{name}: answer mismatch"
+        assert row["speedup"] > 0
+    assert (tmp_path / "BENCH_e14.json").exists()

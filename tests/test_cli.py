@@ -201,6 +201,7 @@ class TestServeCommand:
         assert "[hit ]" in output
         assert "# served 2 queries" in output
         assert "# cache: 1 hits / 1 misses" in output
+        assert "# containment memo:" in output
 
     def test_serve_with_answers(self, tmp_path):
         queries = tmp_path / "queries.txt"
