@@ -23,6 +23,7 @@ from repro.datalog.terms import Variable
 from repro.engine.database import Database
 from repro.engine.evaluate import evaluate, materialize_views
 from repro.api import connect
+from repro.experiments.measure import sample_stats
 from repro.rewriting.rewriter import rewrite
 from repro.workloads.generators import chain_query, chain_views, star_query, star_views
 
@@ -72,17 +73,23 @@ def _database_for(query):
 def _measure(workload_name, query, views):
     requests = _isomorphic_variants(query, REQUESTS)
 
-    started = time.perf_counter()
-    cold_results = [rewrite(request, views, algorithm="minicon") for request in requests]
-    cold_elapsed = time.perf_counter() - started
+    cold_results, cold_samples = [], []
+    for request in requests:
+        started = time.perf_counter()
+        cold_results.append(rewrite(request, views, algorithm="minicon"))
+        cold_samples.append(time.perf_counter() - started)
+    cold_elapsed = sum(cold_samples)
 
     # Sessions are opened through the repro.api facade (the supported
     # front door); the measured loops run on the session object itself,
     # exactly as before.
     session = connect(views=views, algorithm="minicon").session
-    started = time.perf_counter()
-    warm_results = [session.rewrite_cached(request) for request in requests]
-    warm_elapsed = time.perf_counter() - started
+    warm_results, warm_samples = [], []
+    for request in requests:
+        started = time.perf_counter()
+        warm_results.append(session.rewrite_cached(request))
+        warm_samples.append(time.perf_counter() - started)
+    warm_elapsed = sum(warm_samples)
 
     # Correctness: for a repeated identical query, the cache-hit plans are
     # byte-identical to both the miss and a plain uncached rewrite() call.
@@ -122,6 +129,8 @@ def _measure(workload_name, query, views):
         "warm_seconds": warm_elapsed,
         "cold_qps": REQUESTS / cold_elapsed,
         "warm_qps": REQUESTS / warm_elapsed,
+        "cold_latency": sample_stats(cold_samples),
+        "warm_latency": sample_stats(warm_samples),
         "speedup": cold_elapsed / warm_elapsed,
         "cache_hits": stats["rewrite_cache"]["hits"],
         "cache_misses": stats["rewrite_cache"]["misses"],

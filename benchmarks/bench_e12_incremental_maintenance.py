@@ -25,6 +25,7 @@ from pathlib import Path
 
 from repro.datalog.parser import parse_query
 from repro.engine.evaluate import materialize_views
+from repro.experiments.measure import sample_stats
 from repro.materialize.store import MaterializedViewStore
 from repro.service.session import RewritingSession
 from repro.workloads.generators import chain_views
@@ -50,26 +51,28 @@ def _measure_maintenance(workload):
     recompute_db = workload.database.copy()
     store = MaterializedViewStore(workload.views, incremental_db)
 
-    incremental_seconds = 0.0
-    recompute_seconds = 0.0
+    incremental_samples = []
+    recompute_samples = []
     mismatches = 0
     deletions = 0
     for delta in workload.deltas:
         deletions += sum(len(rows) for rows in delta.removed.values())
         started = time.perf_counter()
         store.apply_delta(delta)
-        incremental_seconds += time.perf_counter() - started
+        incremental_samples.append(time.perf_counter() - started)
 
         recompute_db.apply_delta(delta)
         started = time.perf_counter()
         instance = materialize_views(workload.views, recompute_db)
-        recompute_seconds += time.perf_counter() - started
+        recompute_samples.append(time.perf_counter() - started)
 
         for view in workload.views:
             if store.extent(view.name) != instance.tuples(view.name):
                 mismatches += 1
 
     base_size = workload.database.size()
+    incremental_seconds = sum(incremental_samples)
+    recompute_seconds = sum(recompute_samples)
     return {
         "workload": workload.name,
         "views": len(workload.views),
@@ -80,6 +83,8 @@ def _measure_maintenance(workload):
         "deletions": deletions,
         "incremental_seconds": incremental_seconds,
         "recompute_seconds": recompute_seconds,
+        "incremental_latency": sample_stats(incremental_samples),
+        "recompute_latency": sample_stats(recompute_samples),
         "speedup": recompute_seconds / incremental_seconds,
         "extent_mismatches": mismatches,
         "store": store.stats(),

@@ -25,6 +25,7 @@ from pathlib import Path
 from repro.datalog.parser import parse_query
 from repro.engine.evaluate import evaluate
 from repro.api import connect
+from repro.experiments.measure import sample_stats
 from repro.workloads.data import (
     random_chain_database,
     random_database,
@@ -83,17 +84,19 @@ def _measure(name, database, queries, compiled, interpreted):
             mismatches += 1
         answer_counts.append(len(compiled_answers))
 
-    compiled_seconds = 0.0
-    interpreted_seconds = 0.0
+    compiled_samples = []
+    interpreted_samples = []
     for _ in range(ROUNDS):
         started = time.perf_counter()
         for query in queries:
             evaluate(query, database, executor=compiled)
-        compiled_seconds += time.perf_counter() - started
+        compiled_samples.append(time.perf_counter() - started)
         started = time.perf_counter()
         for query in queries:
             evaluate(query, database, executor=interpreted)
-        interpreted_seconds += time.perf_counter() - started
+        interpreted_samples.append(time.perf_counter() - started)
+    compiled_seconds = sum(compiled_samples)
+    interpreted_seconds = sum(interpreted_samples)
 
     return {
         "workload": name,
@@ -104,6 +107,8 @@ def _measure(name, database, queries, compiled, interpreted):
         "answer_mismatches": mismatches,
         "compiled_seconds": compiled_seconds,
         "interpreted_seconds": interpreted_seconds,
+        "compiled_latency": sample_stats(compiled_samples),
+        "interpreted_latency": sample_stats(interpreted_samples),
         "speedup": interpreted_seconds / compiled_seconds if compiled_seconds else float("inf"),
     }
 

@@ -39,6 +39,7 @@ from repro.datalog.queries import ConjunctiveQuery, UnionQuery
 from repro.datalog.terms import Variable
 from repro.datalog.views import View, ViewSet
 from repro.engine.evaluate import evaluate, materialize_views
+from repro.experiments.measure import sample_stats
 from repro.containment.homomorphism import using_search_implementation
 from repro.containment.memo import global_containment_memo, memo_disabled
 from repro.rewriting.expansion import clear_expansion_cache, expansion_cache_disabled
@@ -217,6 +218,8 @@ def _measure_scale(query, views, database):
         "rewritings": len(new_result.rewritings),
         "reference_seconds": ref_best,
         "optimized_seconds": new_best,
+        "reference_latency": sample_stats(ref_times),
+        "optimized_latency": sample_stats(new_times),
         "reference_qps": 1.0 / ref_best,
         "optimized_qps": 1.0 / new_best,
         "speedup": ref_best / new_best,

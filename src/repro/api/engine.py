@@ -26,6 +26,7 @@ supported underneath it.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import (
@@ -42,6 +43,7 @@ from repro.exec.executor import CompiledExecutor
 from repro.materialize.changelog import ChangeLog
 from repro.materialize.compare import verify_extents
 from repro.materialize.delta import Delta, parse_delta
+from repro.obs import Instrumentation, MetricsRegistry, Trace
 from repro.rewriting.certain import certain_answers
 from repro.rewriting.plans import Rewriting, RewritingKind, RewritingResult
 from repro.service.batch import BatchReport, run_batch
@@ -88,6 +90,7 @@ def connect(
     executor: str = "compiled",
     cache_size: int = 512,
     use_view_index: bool = True,
+    observability: bool = True,
 ) -> "Engine":
     """Open an :class:`Engine` over a validated catalog.
 
@@ -113,6 +116,12 @@ def connect(
         :meth:`Engine.check`.
     algorithm / mode / executor / cache_size / use_view_index:
         Forwarded to the underlying :class:`RewritingSession`.
+    observability:
+        When True (the default) the engine owns a
+        :class:`repro.obs.Instrumentation` bundle: per-stage latency
+        histograms, cache-event counters and request traces, readable via
+        :meth:`Engine.metrics` (Prometheus text) and :meth:`Engine.trace`.
+        Pass False for a bare engine with zero instrumentation overhead.
     """
     database = as_database(data)
     instance = as_database(view_instance)
@@ -133,6 +142,7 @@ def connect(
         executor=executor,
         cache_size=cache_size,
         use_view_index=use_view_index,
+        observability=observability,
     )
 
 
@@ -152,7 +162,7 @@ class PreparedQuery:
 
     def rewrite(self) -> RewritingResult:
         """Rewrite this query using the engine's views (fingerprint-cached)."""
-        return self.engine._session.rewrite_cached(self.query)
+        return self.engine._rewrite(self.query)
 
     def answers(self) -> Answer:
         """Evaluate the query (through its best rewriting when one exists)."""
@@ -183,6 +193,7 @@ class Engine:
         executor: str = "compiled",
         cache_size: int = 512,
         use_view_index: bool = True,
+        observability: bool = True,
     ):
         if not isinstance(catalog, Catalog):
             raise QueryConstructionError(f"expected a Catalog, got {catalog!r}")
@@ -199,6 +210,9 @@ class Engine:
         if view_instance is not None:
             catalog.validate_view_instance(view_instance)
         self._view_instance = view_instance
+        self._obs: Optional[Instrumentation] = (
+            Instrumentation() if observability else None
+        )
         self._session = RewritingSession(
             catalog.views,
             database=database,
@@ -207,6 +221,7 @@ class Engine:
             cache_size=cache_size,
             use_view_index=use_view_index,
             executor=executor,
+            instrumentation=self._obs,
         )
         self.queries_served = 0
         self.deltas_applied = 0
@@ -215,7 +230,11 @@ class Engine:
     def query(self, query: QueryInput) -> PreparedQuery:
         """Parse (if text) and validate a query against the catalog."""
         if isinstance(query, str):
-            parsed = parse_query(query)
+            if self._obs is not None:
+                with self._obs.stage("parse"):
+                    parsed = parse_query(query)
+            else:
+                parsed = parse_query(query)
         elif isinstance(query, ConjunctiveQuery):
             parsed = query
         else:
@@ -232,10 +251,11 @@ class Engine:
         the :class:`ChangeLog` saying which base predicates and views
         actually changed.
         """
-        if isinstance(delta, str):
-            delta = parse_delta(delta)
-        self._require_database("apply a delta")
-        log = self._session.apply_delta(delta)
+        with self._request("apply"):
+            if isinstance(delta, str):
+                delta = parse_delta(delta)
+            self._require_database("apply a delta")
+            log = self._session.apply_delta(delta)
         self.deltas_applied += 1
         return log
 
@@ -274,6 +294,76 @@ class Engine:
             "deltas_applied": self.deltas_applied,
             "session": self._session.stats(),
         }
+
+    # -- observability -------------------------------------------------------------
+    def metrics(self) -> str:
+        """The engine's metrics in Prometheus text exposition format.
+
+        Point-in-time gauges (cache occupancy, containment-memo size) are
+        refreshed at scrape time; counters and histograms accumulate as the
+        engine serves.  Raises when the engine was opened with
+        ``observability=False``.
+        """
+        obs = self._require_observability("render metrics")
+        self._refresh_gauges(obs)
+        return obs.registry.render()
+
+    def trace(self, trace_id: Optional[str] = None) -> Optional[Trace]:
+        """The most recently finished request trace (or one by id).
+
+        Every verb runs under a trace; the returned
+        :class:`~repro.obs.Trace` serializes to JSON via ``to_json()``
+        (schema: ``docs/trace.schema.json``).  Returns None when nothing has
+        been traced yet or the id fell out of the bounded ring.
+        """
+        obs = self._require_observability("read traces")
+        if trace_id is not None:
+            return obs.tracer.find(trace_id)
+        return obs.tracer.last()
+
+    @property
+    def observability(self) -> Optional[Instrumentation]:
+        """The engine's instrumentation bundle (None when disabled)."""
+        return self._obs
+
+    @property
+    def metrics_registry(self) -> MetricsRegistry:
+        """The live registry, for servers that add their own series."""
+        return self._require_observability("expose a metrics registry").registry
+
+    def _require_observability(self, action: str) -> Instrumentation:
+        if self._obs is None:
+            raise QueryConstructionError(
+                f"this engine was opened with observability=False; cannot {action}"
+            )
+        return self._obs
+
+    def _request(self, verb: str):
+        """The per-verb trace/outcome context (no-op without observability)."""
+        if self._obs is None:
+            return nullcontext()
+        return self._obs.request(verb)
+
+    def _refresh_gauges(self, obs: Instrumentation) -> None:
+        """Set the point-in-time gauges from the session's stats snapshot."""
+        occupancy = obs.registry.gauge(
+            "repro_cache_entries",
+            "Current entry count of each bounded cache.",
+            labels=("cache",),
+        )
+        stats = self._session.stats()
+        for cache in ("rewrite_cache", "answer_cache", "translation_cache",
+                      "containment_cache"):
+            entry = stats.get(cache)
+            if entry is not None:
+                occupancy.labels(cache.removesuffix("_cache")).set(entry["size"])
+        memo = stats.get("global.containment_memo")
+        if memo is not None:
+            occupancy.labels("containment_memo").set(memo["size"])
+            obs.registry.gauge(
+                "repro_containment_memo_hit_rate",
+                "Hit rate of the process-global containment memo.",
+            ).set(memo["hit_rate"])
 
     def check(self) -> Tuple[str, ...]:
         """Re-check integrity constraints; returns violated constraint names."""
@@ -353,10 +443,15 @@ class Engine:
             return SOURCE_VIEWS_AND_BASE
         return SOURCE_BASE
 
+    def _rewrite(self, query: ConjunctiveQuery) -> RewritingResult:
+        with self._request("rewrite"):
+            return self._session.rewrite_cached(query)
+
     def _answer(self, query: ConjunctiveQuery) -> Answer:
-        self._require_database("answer queries")
         started = time.perf_counter()
-        rows, result = self._session.answer_with_plan(query)
+        with self._request("query"):
+            self._require_database("answer queries")
+            rows, result = self._session.answer_with_plan(query)
         answered_from_cache = self._session.last_answer_from_cache
         self.queries_served += 1
         best = result.best
@@ -382,11 +477,16 @@ class Engine:
 
     def _certain(self, query: ConjunctiveQuery, method: str) -> Answer:
         started = time.perf_counter()
-        instance = self._view_instance
-        if instance is None:
-            self._require_database("compute certain answers without a view instance")
-            instance = self._session.store().as_database()
-        rows = certain_answers(query, self._session.views, instance, method=method)
+        with self._request("certain"):
+            instance = self._view_instance
+            if instance is None:
+                self._require_database(
+                    "compute certain answers without a view instance"
+                )
+                instance = self._session.store().as_database()
+            rows = certain_answers(
+                query, self._session.views, instance, method=method
+            )
         self.queries_served += 1
         provenance = Provenance(
             source=SOURCE_CERTAIN,
@@ -406,6 +506,10 @@ class Engine:
         )
 
     def _explain(self, query: ConjunctiveQuery) -> Explanation:
+        with self._request("explain"):
+            return self._explain_uncounted(query)
+
+    def _explain_uncounted(self, query: ConjunctiveQuery) -> Explanation:
         answer_cached = (
             self._session.database is not None
             and self._session.has_cached_answer(query)

@@ -20,12 +20,18 @@ argument-parsing shell around ``repro.connect(...)`` and the engine verbs:
     extents incrementally, and report what changed.
 ``python -m repro serve``
     Run a long-lived engine that reads queries line by line and serves them
-    through the fingerprint cache.
+    through the fingerprint cache — or, with ``--http PORT``, serve the
+    :mod:`repro.server` HTTP/JSON API (``/query``, ``/explain``,
+    ``/apply-delta``, ``/stats``, ``/metrics``, ``/healthz``) until
+    SIGINT/SIGTERM, then drain gracefully.
+``python -m repro stats``
+    Build an engine, optionally warm it with a workload, and print the full
+    stats snapshot (``--stats-json`` for machines).
 ``python -m repro batch``
     Process a file of workload queries through one engine, optionally with
     multiprocessing fan-out, and report per-query results and throughput.
 ``python -m repro experiments``
-    List the reproduced experiments (E1..E13) and the bench that regenerates
+    List the reproduced experiments (E1..E15) and the bench that regenerates
     each.
 
 Queries and views are given inline or in files, in the datalog syntax of
@@ -257,6 +263,8 @@ def _command_apply_delta(args: argparse.Namespace, out) -> int:
 def _command_serve(args: argparse.Namespace, out) -> int:
     set_default_executor(args.executor)
     engine = _engine_for(args)
+    if args.http is not None:
+        return _serve_http(args, engine, out)
     with_answers = engine.database is not None and args.answers
     source = Path(args.input).open() if args.input else sys.stdin
     served = 0
@@ -268,7 +276,7 @@ def _command_serve(args: argparse.Namespace, out) -> int:
             if line in (":quit", ":exit"):
                 break
             if line == ":stats":
-                _print_session_stats(engine, out)
+                _print_stats(engine, out, as_json=args.stats_json)
                 continue
             try:
                 prepared = engine.query(line)
@@ -299,15 +307,79 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         if source is not sys.stdin:
             source.close()
     print(f"# served {served} queries", file=out)
-    _print_session_stats(engine, out)
+    _print_stats(engine, out, as_json=args.stats_json)
     return 0
+
+
+def _serve_http(args: argparse.Namespace, engine, out) -> int:
+    """Run the repro.server HTTP API until SIGINT/SIGTERM, then drain."""
+    import signal
+
+    from repro.server import ReproServer
+
+    server = ReproServer(
+        engine,
+        host=args.host,
+        port=args.http,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+    )
+    import threading
+
+    def stop(signum, frame):
+        # shutdown() blocks until serve_forever() returns, and the handler
+        # runs *on* the serving thread — drain from a helper thread instead.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, stop)
+        except ValueError:  # pragma: no cover - non-main thread (tests)
+            pass
+    print(f"# serving on {server.address} "
+          f"(workers={server.workers}, queue_limit={server.queue_limit})", file=out)
+    out.flush()
+    try:
+        server.serve_forever()
+    finally:
+        server.shutdown()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    _print_stats(engine, out, as_json=args.stats_json)
+    return 0
+
+
+def _command_stats(args: argparse.Namespace, out) -> int:
+    set_default_executor(args.executor)
+    engine = _engine_for(args)
+    if args.queries:
+        with_answers = engine.database is not None and args.answers
+        for query in parse_program(_read_text(args.queries)):
+            prepared = engine.query(query)
+            if with_answers:
+                prepared.answers()
+            else:
+                prepared.rewrite()
+    _print_stats(engine, out, as_json=args.stats_json)
+    return 0
+
+
+def _print_stats(engine, out, as_json: bool = False) -> None:
+    """The end-of-run stats block: human `#` lines, or JSON for scripts."""
+    if as_json:
+        import json
+
+        print(json.dumps(engine.stats(), default=str, sort_keys=True), file=out)
+        return
+    _print_session_stats(engine, out)
 
 
 def _print_session_stats(engine, out) -> None:
     stats = engine.stats()["session"]
     rewrite_stats = stats["rewrite_cache"]
     index_stats = stats["view_index"]
-    memo_stats = stats.get("containment_memo")
+    memo_stats = stats.get("global.containment_memo")
     print(
         f"# cache: {rewrite_stats['hits']} hits / {rewrite_stats['misses']} misses "
         f"(rate {rewrite_stats['hit_rate']:.2f}), {rewrite_stats['evictions']} evictions",
@@ -474,8 +546,52 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--no-view-index", action="store_true", help="disable view-relevance pruning"
     )
+    serve_parser.add_argument(
+        "--http", type=int, metavar="PORT", default=None,
+        help="serve the HTTP/JSON API on this port instead of reading stdin "
+             "(0 picks a free port)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address for --http"
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=4, help="worker threads for --http"
+    )
+    serve_parser.add_argument(
+        "--queue-limit", type=int, default=32,
+        help="max in-flight POST requests before 503s (--http)",
+    )
+    serve_parser.add_argument(
+        "--stats-json", action="store_true",
+        help="print stats as one JSON object instead of '#' comment lines",
+    )
     _add_executor_flag(serve_parser)
     serve_parser.set_defaults(handler=_command_serve)
+
+    stats_parser = subparsers.add_parser(
+        "stats", help="print an engine's stats snapshot, optionally after a workload"
+    )
+    stats_parser.add_argument("--views", required=True, help="view definitions text or file")
+    stats_parser.add_argument("--database", help="optional facts text or file")
+    stats_parser.add_argument(
+        "--queries", help="optional warmup workload (datalog rules, text or file)"
+    )
+    stats_parser.add_argument("--algorithm", choices=ALGORITHMS, default="minicon")
+    stats_parser.add_argument("--mode", choices=MODES, default="equivalent")
+    stats_parser.add_argument("--cache-size", type=int, default=512)
+    stats_parser.add_argument(
+        "--answers", action="store_true",
+        help="evaluate the warmup queries over the database",
+    )
+    stats_parser.add_argument(
+        "--no-view-index", action="store_true", help="disable view-relevance pruning"
+    )
+    stats_parser.add_argument(
+        "--stats-json", action="store_true",
+        help="print stats as one JSON object instead of '#' comment lines",
+    )
+    _add_executor_flag(stats_parser)
+    stats_parser.set_defaults(handler=_command_stats)
 
     batch_parser = subparsers.add_parser(
         "batch", help="process a workload file through one caching engine"

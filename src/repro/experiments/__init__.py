@@ -5,7 +5,12 @@ rewriting algorithms over generated workloads and to print the tables and
 figure series recorded in ``EXPERIMENTS.md``.
 """
 
-from repro.experiments.measure import Measurement, time_call
+from repro.experiments.measure import (
+    Measurement,
+    percentile,
+    sample_stats,
+    time_call,
+)
 from repro.experiments.tables import format_series, format_table
 from repro.experiments.registry import Experiment, all_experiments, get_experiment, register
 
@@ -16,6 +21,8 @@ __all__ = [
     "format_series",
     "format_table",
     "get_experiment",
+    "percentile",
     "register",
+    "sample_stats",
     "time_call",
 ]

@@ -1,11 +1,54 @@
-"""Timing helpers used by the benchmark harness."""
+"""Timing helpers used by the benchmark harness.
+
+A single mean hides exactly the behavior a serving benchmark cares about
+(cold-start spikes, GC pauses, scheduler noise), so every harness records the
+per-repetition wall-clock samples and summarizes them with
+:func:`sample_stats` — min / median / p90 plus mean — in its ``BENCH_*.json``.
+"""
 
 from __future__ import annotations
 
 import statistics
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of ``samples`` by linear interpolation.
+
+    Matches ``statistics.quantiles(..., method="inclusive")`` at its cut
+    points but accepts any q, including a single-sample list (where every
+    quantile is that sample).
+    """
+    if not samples:
+        return float("nan")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+
+def sample_stats(samples: Sequence[float]) -> Dict[str, float]:
+    """The summary emitted into ``BENCH_*.json`` for a list of seconds.
+
+    Keys are stable schema: ``count``, ``min``, ``median``, ``p90``, ``mean``,
+    ``max`` — all seconds except ``count``.
+    """
+    if not samples:
+        return {"count": 0}
+    return {
+        "count": len(samples),
+        "min": min(samples),
+        "median": statistics.median(samples),
+        "p90": percentile(samples, 0.90),
+        "mean": statistics.fmean(samples),
+        "max": max(samples),
+    }
 
 
 @dataclass
@@ -29,8 +72,16 @@ class Measurement:
         return statistics.median(self.timings) if self.timings else float("nan")
 
     @property
+    def p90(self) -> float:
+        return percentile(self.timings, 0.90)
+
+    @property
     def stdev(self) -> float:
         return statistics.pstdev(self.timings) if len(self.timings) > 1 else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """The :func:`sample_stats` summary of this measurement's timings."""
+        return sample_stats(self.timings)
 
     def __str__(self) -> str:
         return f"{self.label}: median {self.median * 1000:.2f} ms over {len(self.timings)} runs"

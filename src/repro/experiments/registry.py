@@ -1,4 +1,4 @@
-"""A small registry mapping experiment ids (E1..E14) to their descriptions.
+"""A small registry mapping experiment ids (E1..E15) to their descriptions.
 
 The registry exists so ``benchmarks/`` and ``EXPERIMENTS.md`` agree on what
 each experiment id means; benchmark modules register themselves at import
@@ -99,6 +99,12 @@ EXPERIMENTS = [
                "faster than the retained naive reference pipeline on chain/star/complete "
                "workloads at growing view counts, with identical rewritings and answers",
                "benchmarks/bench_e14_cold_rewriting.py"),
+    Experiment("E15", "Concurrent serving latency through the HTTP layer", "table",
+               "The instrumented HTTP server sustains mixed cold/warm workloads at "
+               "growing client concurrency with warm p50 at concurrency 8 within 2x "
+               "the single-client warm p50, coalesces concurrent identical queries, "
+               "and the observability layer costs <=5% on E13-style execution",
+               "benchmarks/bench_e15_serving_latency.py"),
 ]
 
 for _experiment in EXPERIMENTS:

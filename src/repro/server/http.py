@@ -1,0 +1,526 @@
+"""A threaded HTTP/JSON front end over one :class:`repro.api.Engine`.
+
+Stdlib only (:mod:`http.server` + :mod:`concurrent.futures`): the container
+bakes in no web framework, and the engine's work is CPU-bound Python anyway —
+what a front end must add is *discipline*, not parallel compute:
+
+* **Bounded concurrency.**  POST work runs on a fixed worker pool; the
+  admission count (submitted, not yet finished) is capped by ``queue_limit``
+  and exported as the ``repro_server_queue_depth`` gauge.  A request arriving
+  above the cap is rejected immediately with **503** and a ``Retry-After``
+  hint — the server sheds load instead of queueing unboundedly.
+* **In-flight coalescing.**  Identical queries are recognized by their
+  canonical fingerprint (:mod:`repro.service.fingerprint` — renaming- and
+  subgoal-order-invariant).  While one is being computed, followers share its
+  future instead of submitting duplicate work; ``repro_server_coalesced_total``
+  counts the collapsed requests and each follower's response carries
+  ``"coalesced": true``.
+* **Serialized engine access.**  The engine's caches are not thread-safe, so
+  one lock guards every engine verb.  Under coalescing plus answer caches the
+  critical section is microseconds for warm traffic; the pool exists to keep
+  slow cold requests from blocking the accept loop, not to parallelize the
+  GIL-bound engine.
+* **Tracing.**  Every request gets a trace id, echoed in the
+  ``X-Repro-Trace-Id`` header and the JSON body.  Requests that reach the
+  engine reuse the engine trace's id, so ``engine.trace(trace_id)`` (and
+  ``POST /query`` with ``"trace": true``) can return the full span tree.
+* **Graceful drain.**  :meth:`ReproServer.shutdown` stops accepting, lets
+  in-flight work finish, then closes the socket; the CLI wires SIGINT/SIGTERM
+  to it so ``repro serve --http`` exits 0 under supervision.
+
+Endpoints (all JSON unless noted):
+
+=======================  =====================================================
+``POST /query``          ``{"query": str, "trace"?: bool}`` → rows +
+                         provenance (rewriting-only when the engine has no
+                         base data)
+``POST /explain``        ``{"query": str}`` → the explanation tree
+                         (``docs/explanation.schema.json``)
+``POST /apply-delta``    ``{"delta": str}`` → the change log
+``GET /stats``           the full ``engine.stats()`` snapshot
+``GET /metrics``         Prometheus text exposition (``text/plain``)
+``GET /healthz``         liveness + drain state
+=======================  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.api.engine import Engine
+from repro.obs.trace import _new_trace_id
+from repro.service.fingerprint import fingerprint
+
+__all__ = ["ReproServer", "serve_http"]
+
+#: Content type of the Prometheus text exposition format.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Seconds a handler waits on a worker future before giving up (504).
+DEFAULT_RESULT_TIMEOUT = 120.0
+
+
+class _Overloaded(Exception):
+    """Raised when admission control rejects a request (mapped to 503)."""
+
+
+class ReproServer:
+    """The HTTP serving layer over one engine; see the module docs.
+
+    Parameters
+    ----------
+    engine:
+        An :class:`repro.api.Engine` opened with observability (the default);
+        the server declares its own metric series on the engine's registry so
+        one scrape covers both layers.
+    host / port:
+        Bind address; port 0 picks a free port (read :attr:`port` after
+        construction).
+    workers:
+        Worker-pool threads executing POST work.
+    queue_limit:
+        Maximum submitted-but-unfinished POST requests before 503s.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 4,
+        queue_limit: int = 32,
+        result_timeout: float = DEFAULT_RESULT_TIMEOUT,
+    ):
+        obs = engine.observability
+        if obs is None:
+            raise ReproError(
+                "the HTTP server needs an instrumented engine; open it with "
+                "observability=True (the repro.connect default)"
+            )
+        self._engine = engine
+        self._obs = obs
+        self.workers = max(1, int(workers))
+        self.queue_limit = max(1, int(queue_limit))
+        self.result_timeout = result_timeout
+        self._engine_lock = threading.RLock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-http"
+        )
+        self._admission_lock = threading.Lock()
+        self._pending = 0
+        self._inflight: Dict[Tuple[str, str], Future] = {}
+        # Query text -> canonical fingerprint text (or None for unparseable
+        # bodies).  Parsing on the handler thread just to build the coalescing
+        # key would tax every warm request; templated traffic repeats a small
+        # set of texts, so a bounded FIFO memo removes that cost.
+        self._fingerprint_cache: Dict[str, Optional[str]] = {}
+        self._fingerprint_lock = threading.Lock()
+        self._draining = threading.Event()
+        self._serve_thread: Optional[threading.Thread] = None
+
+        registry = obs.registry
+        self._http_requests = registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by endpoint and outcome.",
+            labels=("endpoint", "outcome"),
+        )
+        self._http_seconds = registry.histogram(
+            "repro_http_request_seconds",
+            "Wall-clock seconds from request receipt to response, by endpoint.",
+            labels=("endpoint",),
+        )
+        self._queue_depth = registry.gauge(
+            "repro_server_queue_depth",
+            "POST requests submitted to the worker pool and not yet finished.",
+        )
+        self._coalesced = registry.counter(
+            "repro_server_coalesced_total",
+            "Requests that shared an identical in-flight query's result "
+            "instead of submitting duplicate work.",
+        )
+        self._rejections = registry.counter(
+            "repro_server_rejected_total",
+            "Requests rejected by admission control (queue full or draining).",
+        )
+
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+            # Keep-alive + Nagle + delayed ACK = ~40ms stalls on small
+            # responses; a serving layer measured in milliseconds must not
+            # batch segments.
+            disable_nagle_algorithm = True
+
+            # The default handler logs every request to stderr; the server
+            # exports counters instead.
+            def log_message(self, format: str, *args: Any) -> None:
+                pass
+
+            def do_GET(self) -> None:
+                server._handle(self, "GET")
+
+            def do_POST(self) -> None:
+                server._handle(self, "POST")
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+
+    # -- lifecycle -----------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def engine(self) -> Engine:
+        return self._engine
+
+    def start(self) -> "ReproServer":
+        """Serve in a background thread (returns immediately)."""
+        if self._serve_thread is not None:
+            raise RuntimeError("server already started")
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever, name="repro-http-accept", daemon=True
+        )
+        self._serve_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` (blocking)."""
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight work, close.
+
+        Idempotent; safe to call from a signal handler thread.
+        """
+        if self._draining.is_set():
+            return
+        self._draining.set()
+        self._httpd.shutdown()
+        self._pool.shutdown(wait=True)
+        self._httpd.server_close()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # -- dispatch ------------------------------------------------------------------
+    _GET_ROUTES = {"/healthz", "/stats", "/metrics"}
+    _POST_ROUTES = {"/query", "/explain", "/apply-delta"}
+
+    def _handle(self, handler: BaseHTTPRequestHandler, method: str) -> None:
+        path = handler.path.split("?", 1)[0]
+        endpoint = path if path in (self._GET_ROUTES | self._POST_ROUTES) else "unknown"
+        started = _monotonic()
+        try:
+            outcome = self._route(handler, method, path)
+        except BrokenPipeError:  # pragma: no cover - client went away
+            outcome = "disconnect"
+        except Exception as error:  # pragma: no cover - defensive catch-all
+            outcome = "error"
+            try:
+                self._send_json(
+                    handler, 500, {"error": {"type": "InternalError", "message": str(error)}}
+                )
+            except Exception:
+                pass
+        self._http_requests.labels(endpoint, outcome).inc()
+        self._http_seconds.labels(endpoint).observe(_monotonic() - started)
+
+    def _route(self, handler: BaseHTTPRequestHandler, method: str, path: str) -> str:
+        if method == "GET":
+            if path == "/healthz":
+                return self._get_healthz(handler)
+            if path == "/stats":
+                return self._get_stats(handler)
+            if path == "/metrics":
+                return self._get_metrics(handler)
+            self._send_json(handler, 404, _error_body("NotFound", f"no route {path}"))
+            return "not_found"
+        if method == "POST":
+            if path not in self._POST_ROUTES:
+                self._send_json(
+                    handler, 404, _error_body("NotFound", f"no route {path}")
+                )
+                return "not_found"
+            return self._post(handler, path)
+        self._send_json(  # pragma: no cover - only GET/POST are wired
+            handler, 405, _error_body("MethodNotAllowed", method)
+        )
+        return "method_not_allowed"
+
+    # -- GET endpoints -------------------------------------------------------------
+    def _get_healthz(self, handler: BaseHTTPRequestHandler) -> str:
+        self._send_json(
+            handler,
+            200,
+            {
+                "status": "draining" if self.draining else "ok",
+                "inflight": self._pending,
+                "workers": self.workers,
+            },
+        )
+        return "ok"
+
+    def _get_stats(self, handler: BaseHTTPRequestHandler) -> str:
+        with self._engine_lock:
+            stats = self._engine.stats()
+        self._send_json(handler, 200, stats)
+        return "ok"
+
+    def _get_metrics(self, handler: BaseHTTPRequestHandler) -> str:
+        with self._engine_lock:
+            text = self._engine.metrics()
+        body = text.encode("utf-8")
+        handler.send_response(200)
+        handler.send_header("Content-Type", METRICS_CONTENT_TYPE)
+        handler.send_header("Content-Length", str(len(body)))
+        handler.end_headers()
+        handler.wfile.write(body)
+        return "ok"
+
+    # -- POST endpoints ------------------------------------------------------------
+    def _post(self, handler: BaseHTTPRequestHandler, path: str) -> str:
+        trace_id = _new_trace_id()
+        handler_map = {
+            "/query": self._work_query,
+            "/explain": self._work_explain,
+            "/apply-delta": self._work_apply_delta,
+        }
+        try:
+            body = self._read_json(handler)
+        except ValueError as error:
+            self._send_json(
+                handler, 400, _error_body("BadRequest", str(error), trace_id), trace_id
+            )
+            return "client_error"
+        work = handler_map[path]
+        try:
+            payload, coalesced = self._run(path, body, work, trace_id)
+        except _Overloaded:
+            self._rejections.inc()
+            handler.send_response(503)
+            handler.send_header("Retry-After", "1")
+            response = json.dumps(
+                _error_body("Overloaded", "worker queue full or draining", trace_id)
+            ).encode("utf-8")
+            handler.send_header("Content-Type", "application/json")
+            handler.send_header("Content-Length", str(len(response)))
+            handler.send_header("X-Repro-Trace-Id", trace_id)
+            handler.end_headers()
+            handler.wfile.write(response)
+            return "rejected"
+        except ReproError as error:
+            self._send_json(
+                handler,
+                400,
+                _error_body(type(error).__name__, str(error), trace_id),
+                trace_id,
+            )
+            return "client_error"
+        payload = dict(payload)
+        payload.setdefault("trace_id", trace_id)
+        payload["coalesced"] = coalesced
+        if coalesced:
+            # Followers share the leader's payload; their own id names this
+            # HTTP exchange instead (the leader owns the engine trace).
+            payload["trace_id"] = trace_id
+        self._send_json(handler, 200, payload)
+        return "ok"
+
+    def _run(self, path, body, work, trace_id) -> Tuple[Dict[str, Any], bool]:
+        """Admission control + coalescing; returns (payload, was_coalesced)."""
+        key = self._coalesce_key(path, body)
+        with self._admission_lock:
+            future = self._inflight.get(key) if key is not None else None
+            if future is not None:
+                self._coalesced.inc()
+                shared = True
+            else:
+                if self.draining or self._pending >= self.queue_limit:
+                    raise _Overloaded()
+                self._pending += 1
+                self._queue_depth.set(self._pending)
+                future = self._pool.submit(work, body, trace_id)
+                if key is not None:
+                    self._inflight[key] = future
+                shared = False
+        if not shared:
+            # Registered OUTSIDE the admission lock: a fast worker can finish
+            # before this line, in which case add_done_callback invokes the
+            # cleanup inline on this thread — which must not already hold the
+            # (non-reentrant) lock the cleanup acquires.
+            future.add_done_callback(self._on_done(key))
+        return future.result(timeout=self.result_timeout), shared
+
+    def _on_done(self, key):
+        def callback(_future: Future) -> None:
+            with self._admission_lock:
+                self._pending -= 1
+                self._queue_depth.set(self._pending)
+                if key is not None:
+                    self._inflight.pop(key, None)
+        return callback
+
+    def _coalesce_key(self, path: str, body: Any) -> Optional[Tuple[str, str]]:
+        """The in-flight identity of a request; None disables coalescing.
+
+        Only ``/query`` coalesces (explain is cheap and apply-delta mutates).
+        The key is the query's canonical fingerprint, so renamed/reordered
+        copies of an in-flight query coalesce too — the same equivalence the
+        session's caches use.
+        """
+        if path != "/query" or not isinstance(body, dict):
+            return None
+        text = body.get("query")
+        if not isinstance(text, str):
+            return None
+        with self._fingerprint_lock:
+            if text in self._fingerprint_cache:
+                fp = self._fingerprint_cache[text]
+                return None if fp is None else (path, fp)
+        try:
+            fp = fingerprint(self._engine.query(text).query).text
+        except ReproError:
+            fp = None  # let the worker produce the real error response
+        with self._fingerprint_lock:
+            if len(self._fingerprint_cache) >= 1024:
+                self._fingerprint_cache.pop(next(iter(self._fingerprint_cache)))
+            self._fingerprint_cache[text] = fp
+        return None if fp is None else (path, fp)
+
+    # -- the work (runs on the pool, engine lock held) -----------------------------
+    def _work_query(self, body: Any, trace_id: str) -> Dict[str, Any]:
+        text = _required_field(body, "query")
+        want_trace = bool(body.get("trace")) if isinstance(body, dict) else False
+        with self._engine_lock:
+            prepared = self._engine.query(text)
+            if self._engine.database is not None:
+                answer = prepared.answers()
+                payload = answer.to_json()
+            else:
+                result = prepared.rewrite()
+                best = result.best
+                payload = {
+                    "query": text,
+                    "rows": None,
+                    "rewriting": str(best.query) if best is not None else None,
+                    "kind": best.kind.value if best is not None else None,
+                    "cache_hit": self._engine.last_cache_hit,
+                }
+            engine_trace = self._engine.trace()
+            if engine_trace is not None:
+                payload["trace_id"] = engine_trace.trace_id
+                if want_trace:
+                    payload["trace"] = engine_trace.to_json()
+        return payload
+
+    def _work_explain(self, body: Any, trace_id: str) -> Dict[str, Any]:
+        text = _required_field(body, "query")
+        with self._engine_lock:
+            explanation = self._engine.query(text).explain()
+            payload = {"explanation": explanation.to_json()}
+            engine_trace = self._engine.trace()
+            if engine_trace is not None:
+                payload["trace_id"] = engine_trace.trace_id
+        return payload
+
+    def _work_apply_delta(self, body: Any, trace_id: str) -> Dict[str, Any]:
+        text = _required_field(body, "delta")
+        with self._engine_lock:
+            log = self._engine.apply(text)
+            payload = {"changelog": log.to_dict()}
+            engine_trace = self._engine.trace()
+            if engine_trace is not None:
+                payload["trace_id"] = engine_trace.trace_id
+        return payload
+
+    # -- plumbing ------------------------------------------------------------------
+    def _read_json(self, handler: BaseHTTPRequestHandler) -> Any:
+        length = handler.headers.get("Content-Length")
+        if length is None:
+            raise ValueError("missing Content-Length")
+        try:
+            size = int(length)
+        except ValueError:
+            raise ValueError(f"bad Content-Length {length!r}") from None
+        if size < 0 or size > 16 * 1024 * 1024:
+            raise ValueError(f"unreasonable Content-Length {size}")
+        raw = handler.rfile.read(size)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ValueError(f"request body is not valid JSON: {error}") from None
+
+    def _send_json(
+        self,
+        handler: BaseHTTPRequestHandler,
+        status: int,
+        payload: Any,
+        trace_id: Optional[str] = None,
+    ) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        handler.send_response(status)
+        handler.send_header("Content-Type", "application/json")
+        handler.send_header("Content-Length", str(len(body)))
+        if trace_id is not None:
+            handler.send_header("X-Repro-Trace-Id", trace_id)
+        elif isinstance(payload, dict) and "trace_id" in payload:
+            handler.send_header("X-Repro-Trace-Id", str(payload["trace_id"]))
+        handler.end_headers()
+        handler.wfile.write(body)
+
+
+def _monotonic() -> float:
+    import time
+
+    return time.perf_counter()
+
+
+def _error_body(
+    error_type: str, message: str, trace_id: Optional[str] = None
+) -> Dict[str, Any]:
+    body: Dict[str, Any] = {"error": {"type": error_type, "message": message}}
+    if trace_id is not None:
+        body["trace_id"] = trace_id
+    return body
+
+
+def _required_field(body: Any, field: str) -> str:
+    if not isinstance(body, dict) or not isinstance(body.get(field), str):
+        raise ReproError(f"request body must be a JSON object with a {field!r} string")
+    return body[field]
+
+
+def serve_http(
+    engine: Engine,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 4,
+    queue_limit: int = 32,
+) -> ReproServer:
+    """Start a :class:`ReproServer` in the background and return it."""
+    return ReproServer(
+        engine, host=host, port=port, workers=workers, queue_limit=queue_limit
+    ).start()

@@ -36,6 +36,7 @@ rewriting) for untouched predicates survive the churn.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
@@ -52,6 +53,7 @@ from repro.exec import EXECUTORS, CompiledExecutor, InterpretedExecutor
 from repro.materialize.changelog import ChangeLog
 from repro.materialize.delta import Delta
 from repro.materialize.store import MaterializedViewStore
+from repro.obs.instrument import Instrumentation
 from repro.rewriting.plans import Rewriting, RewritingKind, RewritingResult
 from repro.rewriting.rewriter import ALGORITHMS, MODES, rewrite
 from repro.service.cache import LRUCache
@@ -104,6 +106,42 @@ def _retarget(obj: Any, renaming: Substitution, avoid_names: FrozenSet[str]) -> 
     return obj.apply(renaming, require_safe=False)
 
 
+class _SessionStats(dict):
+    """The ``stats()`` mapping, with a deprecation shim for one renamed key.
+
+    The containment-memo entry describes *process-global* state (the memo is
+    shared by every engine in the process — see :mod:`repro.containment.memo`)
+    while every sibling entry is per-session, so it now lives under
+    ``"global.containment_memo"``.  Reading the old ``"containment_memo"``
+    key still works but warns, so multi-engine dashboards migrate instead of
+    silently misattributing global counters to one engine.
+    """
+
+    _OLD_KEY = "containment_memo"
+    _NEW_KEY = "global.containment_memo"
+
+    def __missing__(self, key: str) -> Any:
+        if key == self._OLD_KEY:
+            warnings.warn(
+                f"stats()[{self._OLD_KEY!r}] is deprecated: the containment "
+                f"memo is process-global, not per-session; read "
+                f"{self._NEW_KEY!r} instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self[self._NEW_KEY]
+        raise KeyError(key)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __contains__(self, key: object) -> bool:
+        return dict.__contains__(self, key) or key == self._OLD_KEY
+
+
 def _query_predicates(query: QueryLike) -> FrozenSet[str]:
     """The base predicate names a query's answers can depend on."""
     if isinstance(query, UnionQuery):
@@ -136,6 +174,12 @@ class RewritingSession:
         disjuncts share their hash-join build sides (the indexes live on the
         materialized view relations).  ``"interpreted"`` uses the
         backtracking interpreter.
+    instrumentation:
+        Optional :class:`repro.obs.Instrumentation`.  When given, the session
+        records per-stage latency histograms (rewrite cold/hit, execute,
+        delta apply), cache-event counters (rewrite/answer/plan caches and
+        containment-memo outcomes) and trace spans through it; when omitted
+        (the default) the hooks cost one ``is None`` test each.
     """
 
     def __init__(
@@ -147,6 +191,7 @@ class RewritingSession:
         cache_size: int = 512,
         use_view_index: bool = True,
         executor: str = "compiled",
+        instrumentation: Optional[Instrumentation] = None,
     ):
         if algorithm not in ALGORITHMS:
             raise RewritingError(
@@ -163,6 +208,10 @@ class RewritingSession:
         self.algorithm = algorithm
         self.mode = mode
         self.executor = executor
+        #: Optional :class:`repro.obs.Instrumentation`; when None (the
+        #: default for sessions built directly) every hook below is a single
+        #: ``is None`` test, so the uninstrumented paths are unchanged.
+        self._obs = instrumentation
         self._executor = (
             CompiledExecutor() if executor == "compiled" else InterpretedExecutor()
         )
@@ -211,6 +260,11 @@ class RewritingSession:
     def evaluation_executor(self) -> "CompiledExecutor | InterpretedExecutor":
         """The executor instance evaluating this session's plans."""
         return self._executor
+
+    @property
+    def instrumentation(self) -> Optional[Instrumentation]:
+        """The observability bundle recording this session's metrics, if any."""
+        return self._obs
 
     def store(self) -> MaterializedViewStore:
         """The session's materialized-view store (created on first use).
@@ -279,7 +333,12 @@ class RewritingSession:
         still works, but costs a coarse flush of the whole answer cache.
         """
         self._require_database()  # syncs any out-of-band changes first
-        log = self._view_store().apply_delta(delta)
+        if self._obs is not None:
+            with self._obs.stage("delta_apply", size=delta.size()):
+                log = self._view_store().apply_delta(delta)
+            self._obs.deltas.inc()
+        else:
+            log = self._view_store().apply_delta(delta)
         assert self._database is not None
         self._db_version = self._database.version
         self.deltas_applied += 1
@@ -318,14 +377,52 @@ class RewritingSession:
         self.last_fingerprint = fp.text
         key = (fp.text, self.algorithm, self.mode)
         entry = self._rewrite_cache.get(key)
+        obs = self._obs
         if entry is not None:
             self.last_cache_hit = True
-            result = self._result_from_entry(entry, query, fp)
+            if obs is not None:
+                with obs.stage("rewrite_hit", fingerprint=fp.text):
+                    result = self._result_from_entry(entry, query, fp)
+                obs.cache_event("rewrite", "hit")
+            else:
+                result = self._result_from_entry(entry, query, fp)
         else:
             self.last_cache_hit = False
-            result = self._rewrite_uncached(query)
+            if obs is not None:
+                result = self._observed_cold_rewrite(query, fp, obs)
+            else:
+                result = self._rewrite_uncached(query)
             self._rewrite_cache.put(key, self._entry_from_result(result, fp))
         result.elapsed = time.perf_counter() - started
+        return result
+
+    def _observed_cold_rewrite(
+        self, query: ConjunctiveQuery, fp: QueryFingerprint, obs: Instrumentation
+    ) -> RewritingResult:
+        """A cold rewrite with its latency and containment-memo outcomes recorded.
+
+        The memo is process-global, so the per-outcome counts attributed here
+        are the *deltas* its counters moved by during this rewrite — exact in
+        single-threaded use, approximate when concurrent engines interleave
+        (the totals across engines still add up).
+        """
+        before = containment_memo_stats()
+        with obs.stage(
+            "rewrite_cold", fingerprint=fp.text, algorithm=self.algorithm
+        ):
+            result = self._rewrite_uncached(query)
+        obs.cache_event("rewrite", "miss")
+        after = containment_memo_stats()
+        for field, outcome in (
+            ("hits", "hit"),
+            ("misses", "miss"),
+            ("guard_rejections", "guard_rejection"),
+            ("bypasses", "bypass"),
+        ):
+            # max(0, ...) guards against a concurrent memo.reset() mid-rewrite.
+            obs.cache_event(
+                "containment_memo", outcome, max(0, after[field] - before[field])
+            )
         return result
 
     def _candidate_filter(self, query: ConjunctiveQuery):
@@ -416,10 +513,14 @@ class RewritingSession:
         if cached is not None:
             self.last_cache_hit = True
             self.last_answer_from_cache = True
+            if self._obs is not None:
+                self._obs.cache_event("answer", "hit")
             return cached[0]
         self.last_answer_from_cache = False
+        if self._obs is not None:
+            self._obs.cache_event("answer", "miss")
         result = self._rewrite_with_fp(query, fp)
-        answers = self._evaluate_plan(query, result)
+        answers = self._evaluate_observed(query, result)
         self.last_cache_hit = False
         self._answer_cache.put(key, (answers, _query_predicates(query)))
         return answers
@@ -441,8 +542,10 @@ class RewritingSession:
         key = (fp.text, self.algorithm, self.mode)
         cached = self._answer_cache.get(key)
         self.last_answer_from_cache = cached is not None
+        if self._obs is not None:
+            self._obs.cache_event("answer", "hit" if cached is not None else "miss")
         if cached is None:
-            answers = self._evaluate_plan(query, result)
+            answers = self._evaluate_observed(query, result)
             self._answer_cache.put(key, (answers, _query_predicates(query)))
         else:
             answers = cached[0]
@@ -453,6 +556,24 @@ class RewritingSession:
         if self._database is None:
             raise RewritingError("this session has no database; pass one to answer queries")
         self._refresh_database_version()
+
+    def _evaluate_observed(
+        self, query: ConjunctiveQuery, result: RewritingResult
+    ) -> FrozenSet[Tuple[Any, ...]]:
+        """Evaluate the chosen plan, recording latency and plan-cache outcomes."""
+        obs = self._obs
+        if obs is None:
+            return self._evaluate_plan(query, result)
+        executor = self._executor
+        hits_before = getattr(executor, "plan_hits", 0)
+        misses_before = getattr(executor, "plan_misses", 0)
+        with obs.stage("execute", executor=self.executor):
+            answers = self._evaluate_plan(query, result)
+        obs.cache_event("plan", "hit", getattr(executor, "plan_hits", 0) - hits_before)
+        obs.cache_event(
+            "plan", "compile", getattr(executor, "plan_misses", 0) - misses_before
+        )
+        return answers
 
     def _evaluate_plan(
         self, query: ConjunctiveQuery, result: RewritingResult
@@ -499,8 +620,15 @@ class RewritingSession:
 
     # -- introspection -------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
-        """A machine-readable snapshot of the session's state and cache health."""
-        return {
+        """A machine-readable snapshot of the session's state and cache health.
+
+        Every entry is per-session except ``"global.containment_memo"``,
+        which snapshots the process-wide containment memo; the pre-PR-7
+        ``"containment_memo"`` key is kept as a deprecated read-only alias
+        (it warns on access and is absent from iteration, so serialized
+        stats carry only the namespaced form).
+        """
+        return _SessionStats({
             "algorithm": self.algorithm,
             "mode": self.mode,
             "executor": self._executor.stats(),
@@ -522,7 +650,9 @@ class RewritingSession:
             # plus guard/bypass accounting) behind every is_contained call
             # this session issues — including the rewriting algorithms' own
             # verification, which the session-local containment_cache above
-            # never sees.
-            "containment_memo": containment_memo_stats(),
+            # never sees.  Namespaced "global." because the counters are
+            # shared by every engine in the process (see _SessionStats).
+            "global.containment_memo": containment_memo_stats(),
             "view_index": self._index.stats() if self._index is not None else None,
-        }
+            "metrics": self._obs.snapshot() if self._obs is not None else None,
+        })

@@ -357,3 +357,106 @@ class TestBatchCommand:
         data = json.loads(report_path.read_text())
         assert data["requests"] == 1
         assert data["items"][0]["answers"] == 2
+
+
+class TestStatsCommand:
+    def test_human_readable_stats(self):
+        code, output = run_cli(["stats", "--views", VIEWS])
+        assert code == 0
+        assert "# cache: 0 hits / 0 misses" in output
+        assert "# containment memo:" in output
+
+    def test_queries_warm_the_session_first(self, tmp_path):
+        queries = tmp_path / "queries.dl"
+        queries.write_text(QUERY + "\n" + QUERY + "\n")
+        code, output = run_cli(
+            ["stats", "--views", VIEWS, "--queries", str(queries)]
+        )
+        assert code == 0
+        assert "# cache: 1 hits / 1 misses" in output
+
+    def test_stats_json_is_machine_readable(self, tmp_path):
+        import json
+
+        queries = tmp_path / "queries.dl"
+        queries.write_text(QUERY + "\n")
+        code, output = run_cli(
+            [
+                "stats", "--views", VIEWS, "--database", DATABASE,
+                "--queries", str(queries), "--answers", "--stats-json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(output)
+        assert data["session"]["rewrite_cache"]["misses"] == 1
+        assert data["session"]["metrics"] is not None
+        assert "global.containment_memo" in data["session"]
+
+    def test_serve_stats_json_flag(self, tmp_path):
+        import json
+
+        queries = tmp_path / "queries.txt"
+        queries.write_text(QUERY + "\n")
+        code, output = run_cli(
+            [
+                "serve", "--views", VIEWS, "--input", str(queries),
+                "--stats-json",
+            ]
+        )
+        assert code == 0
+        # The stats block is the last line, as one JSON document.
+        data = json.loads(output.strip().splitlines()[-1])
+        assert data["session"]["requests"] == 1
+
+
+class TestServeHttpCommand:
+    def test_serves_and_drains_on_sigterm(self, tmp_path):
+        import http.client
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(repo_root, "src")
+        env["PYTHONUNBUFFERED"] = "1"
+        process = subprocess.Popen(
+            [
+                sys.executable, "-c",
+                "from repro.cli import main; import sys; "
+                "sys.exit(main(sys.argv[1:]))",
+                "serve", "--views", VIEWS, "--database", DATABASE,
+                "--http", "0", "--stats-json",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "# serving on http://" in banner, banner
+            port = int(banner.split("http://127.0.0.1:")[1].split(" ")[0])
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+            try:
+                conn.request(
+                    "POST", "/query", json.dumps({"query": QUERY}),
+                    {"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                payload = json.loads(response.read())
+            finally:
+                conn.close()
+            assert response.status == 200
+            assert sorted(payload["rows"]) == [[1, 5], [3, 6]]
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=60)
+        except BaseException:
+            process.kill()
+            raise
+        assert process.returncode == 0, stderr
+        # --stats-json: the post-drain stats block is one JSON document.
+        data = json.loads(stdout.strip().splitlines()[-1])
+        assert data["session"]["requests"] == 1
