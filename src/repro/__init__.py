@@ -111,6 +111,7 @@ from repro.rewriting import (
 from repro.exec import (
     CompiledExecutor,
     InterpretedExecutor,
+    ParallelExecutor,
     set_default_executor,
 )
 from repro.materialize import (
@@ -168,6 +169,7 @@ __all__ = [
     "MaterializedViewStore",
     "MiniConRewriter",
     "OptimizationResult",
+    "ParallelExecutor",
     "ParseError",
     "PlanChoice",
     "PreparedQuery",

@@ -39,7 +39,6 @@ from repro.datalog.parser import parse_database, parse_program, parse_query
 from repro.datalog.printer import to_datalog
 from repro.datalog.queries import ConjunctiveQuery, UnionQuery
 from repro.engine.database import Database
-from repro.exec.executor import CompiledExecutor
 from repro.materialize.changelog import ChangeLog
 from repro.materialize.compare import verify_extents
 from repro.materialize.delta import Delta, parse_delta
@@ -87,7 +86,7 @@ def connect(
     constraints: ConstraintsLike = None,
     algorithm: str = "minicon",
     mode: str = "equivalent",
-    executor: str = "compiled",
+    executor: Optional[str] = None,
     cache_size: int = 512,
     use_view_index: bool = True,
     observability: bool = True,
@@ -115,7 +114,10 @@ def connect(
         on the data; checked once at attach time and on demand via
         :meth:`Engine.check`.
     algorithm / mode / executor / cache_size / use_view_index:
-        Forwarded to the underlying :class:`RewritingSession`.
+        Forwarded to the underlying :class:`RewritingSession`.  ``executor``
+        is ``"compiled"``, ``"interpreted"``, or ``"parallel"`` (partitioned
+        hash joins across a forked worker pool); ``None`` uses the
+        process-wide configured default.
     observability:
         When True (the default) the engine owns a
         :class:`repro.obs.Instrumentation` bundle: per-stage latency
@@ -190,7 +192,7 @@ class Engine:
         view_instance: Optional[Database] = None,
         algorithm: str = "minicon",
         mode: str = "equivalent",
-        executor: str = "compiled",
+        executor: Optional[str] = None,
         cache_size: int = 512,
         use_view_index: bool = True,
         observability: bool = True,
@@ -402,7 +404,8 @@ class Engine:
 
     @property
     def executor(self) -> str:
-        """The configured executor name (``"compiled"`` / ``"interpreted"``)."""
+        """The configured executor name (``"compiled"`` / ``"interpreted"`` /
+        ``"parallel"``)."""
         return self._session.executor
 
     @property
@@ -592,7 +595,9 @@ class Engine:
         disjunct: ConjunctiveQuery, database: Database, executor: Any
     ) -> PlanDescription:
         text = to_datalog(disjunct)
-        if not isinstance(executor, CompiledExecutor):
+        # Both the serial compiled executor and the parallel executor (which
+        # composes one) expose plan_for; the interpreter does not.
+        if not hasattr(executor, "plan_for"):
             return PlanDescription(disjunct=text, strategy="interpreted")
         hits_before = executor.plan_hits
         try:

@@ -31,7 +31,7 @@ argument-parsing shell around ``repro.connect(...)`` and the engine verbs:
     Process a file of workload queries through one engine, optionally with
     multiprocessing fan-out, and report per-query results and throughput.
 ``python -m repro experiments``
-    List the reproduced experiments (E1..E15) and the bench that regenerates
+    List the reproduced experiments (E1..E16) and the bench that regenerates
     each.
 
 Queries and views are given inline or in files, in the datalog syntax of
@@ -136,7 +136,7 @@ def _engine_for(args: argparse.Namespace, **overrides):
         "data": _read_text(args.database) if getattr(args, "database", None) else None,
         "algorithm": getattr(args, "algorithm", "minicon"),
         "mode": getattr(args, "mode", "equivalent"),
-        "executor": getattr(args, "executor", "compiled"),
+        "executor": getattr(args, "executor", None),
         "cache_size": getattr(args, "cache_size", 512),
         "use_view_index": not getattr(args, "no_view_index", False),
     }
@@ -437,8 +437,11 @@ def _command_experiments(args: argparse.Namespace, out) -> int:
 
 def _add_executor_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--executor", choices=EXECUTORS, default="compiled",
-        help="execution engine for query evaluation (default: compiled)",
+        "--executor", choices=EXECUTORS, default=None,
+        help="execution engine for query evaluation: compiled, interpreted, "
+             "or parallel (partitioned hash joins across a forked worker "
+             "pool); default: the configured default (REPRO_DEFAULT_EXECUTOR "
+             "or compiled)",
     )
 
 

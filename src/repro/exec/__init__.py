@@ -13,12 +13,19 @@ whole relations at a time instead of one binding at a time:
 * :mod:`repro.exec.plan` — the physical operators and their executable form;
 * :mod:`repro.exec.executor` — :class:`CompiledExecutor` (plan caching keyed
   by canonical query and database version, union evaluation with shared
-  build sides, interpreter fallback) and :class:`InterpretedExecutor`.
+  build sides, interpreter fallback) and :class:`InterpretedExecutor`;
+* :mod:`repro.exec.parallel` — :class:`ParallelExecutor`, which
+  hash-partitions the compiled pipeline's scan output and fans the probe
+  tail across a pool of forked workers (serial fallback below a cardinality
+  threshold, for Skolem-bearing partition columns, and wherever forking is
+  unavailable).
 
 :func:`repro.engine.evaluate.evaluate` routes through the **default
 executor**, which is the compiled engine unless a caller opts out; flip it
-globally with :func:`set_default_executor` (the CLI's ``--executor`` flag) or
-per call via ``evaluate(..., executor=...)``.
+globally with :func:`set_default_executor` (the CLI's ``--executor`` flag),
+per process with the ``REPRO_DEFAULT_EXECUTOR`` environment variable (read
+once at import; CI uses it to run the whole suite under the parallel
+executor), or per call via ``evaluate(..., executor=...)``.
 
 >>> from repro.datalog.parser import parse_query
 >>> from repro.engine.database import Database
@@ -31,39 +38,84 @@ per call via ``evaluate(..., executor=...)``.
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Union
 
 from repro.errors import EvaluationError
 from repro.exec.compile import is_compilable, order_body, try_compile
 from repro.exec.executor import CompiledExecutor, InterpretedExecutor
+from repro.exec.parallel import ParallelExecutor
 from repro.exec.plan import HashJoinStep, PhysicalPlan
 from repro.exec.stats import DatabaseStatistics, statistics_for
 
 #: The executor names accepted everywhere an executor can be chosen.
-EXECUTORS = ("compiled", "interpreted")
+EXECUTORS = ("compiled", "interpreted", "parallel")
 
-ExecutorLike = Union[str, CompiledExecutor, InterpretedExecutor, None]
+#: Environment variable naming the process-wide default executor.
+DEFAULT_EXECUTOR_ENV = "REPRO_DEFAULT_EXECUTOR"
+
+ExecutorLike = Union[
+    str, CompiledExecutor, InterpretedExecutor, ParallelExecutor, None
+]
 
 _SHARED_COMPILED = CompiledExecutor()
 _SHARED_INTERPRETED = InterpretedExecutor()
-_DEFAULT = "compiled"
+_SHARED_PARALLEL = ParallelExecutor()
+
+
+def _configured_default() -> str:
+    """The baseline default: the env override when valid, else compiled."""
+    env = os.environ.get(DEFAULT_EXECUTOR_ENV, "").strip().lower()
+    return env if env in EXECUTORS else "compiled"
+
+
+_DEFAULT: "str | CompiledExecutor | InterpretedExecutor | ParallelExecutor" = (
+    _configured_default()
+)
 
 
 def set_default_executor(executor: ExecutorLike) -> None:
     """Set the executor :func:`repro.engine.evaluate.evaluate` uses by default.
 
-    Accepts ``"compiled"``, ``"interpreted"``, or an executor instance.
+    Accepts ``"compiled"``, ``"interpreted"``, ``"parallel"``, or an executor
+    instance.  ``None`` resets to the configured default (the
+    ``REPRO_DEFAULT_EXECUTOR`` environment override when set and valid,
+    otherwise ``"compiled"``).
     """
     global _DEFAULT
-    _DEFAULT = _validate(executor if executor is not None else "compiled")
+    _DEFAULT = _validate(executor if executor is not None else _configured_default())
 
 
-def get_default_executor() -> "CompiledExecutor | InterpretedExecutor":
+def get_default_executor() -> "CompiledExecutor | InterpretedExecutor | ParallelExecutor":
     """The currently configured default executor instance."""
     return resolve_executor(None)
 
 
-def resolve_executor(executor: ExecutorLike) -> "CompiledExecutor | InterpretedExecutor":
+def default_executor_name() -> str:
+    """The name of the currently configured default executor."""
+    default = _DEFAULT
+    return default if isinstance(default, str) else default.name
+
+
+def make_executor(
+    name: str,
+) -> "CompiledExecutor | InterpretedExecutor | ParallelExecutor":
+    """A fresh (unshared) executor instance for a validated name.
+
+    Session-style owners use this so their plan caches (and, for the
+    parallel engine, worker pools) are private rather than process-shared.
+    """
+    _validate(name)
+    if name == "compiled":
+        return CompiledExecutor()
+    if name == "interpreted":
+        return InterpretedExecutor()
+    return ParallelExecutor()
+
+
+def resolve_executor(
+    executor: ExecutorLike,
+) -> "CompiledExecutor | InterpretedExecutor | ParallelExecutor":
     """Resolve a name / instance / None (= the configured default)."""
     if executor is None:
         executor = _DEFAULT
@@ -72,6 +124,8 @@ def resolve_executor(executor: ExecutorLike) -> "CompiledExecutor | InterpretedE
         return _SHARED_COMPILED
     if executor == "interpreted":
         return _SHARED_INTERPRETED
+    if executor == "parallel":
+        return _SHARED_PARALLEL
     return executor
 
 
@@ -88,14 +142,18 @@ def _validate(executor: ExecutorLike):
 
 
 __all__ = [
+    "DEFAULT_EXECUTOR_ENV",
     "EXECUTORS",
     "CompiledExecutor",
     "InterpretedExecutor",
+    "ParallelExecutor",
     "DatabaseStatistics",
     "HashJoinStep",
     "PhysicalPlan",
+    "default_executor_name",
     "get_default_executor",
     "is_compilable",
+    "make_executor",
     "order_body",
     "resolve_executor",
     "set_default_executor",

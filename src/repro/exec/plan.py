@@ -14,6 +14,13 @@ are hash joins whose *build side is the relation index itself* — built once,
 maintained across deltas, and shared by every plan (and every disjunct of a
 union rewriting) that joins on the same positions.
 
+Relations store their data columnar (per-position arrays addressed by slot;
+see :mod:`repro.engine.relation`), and index buckets map row tuples to slots.
+Probe and scan therefore read **column slices**: a step fetches only the
+columns carrying its newly-bound variables (plus any within-atom equality
+columns) and extends rows via slot lookups into those arrays — matched rows
+are never materialized as whole tuples on the probe path.
+
 Rows are plain tuples; the compiler assigns every query variable a fixed slot
 (column) at compile time, so the per-row work in the inner loop is tuple
 indexing and concatenation — no per-binding dictionaries, no term matching,
@@ -136,29 +143,34 @@ class HashJoinStep:
         out: List[Row] = []
         append = out.append
         probes = 0
+        # Column slices: only the arrays this step actually reads.  Matched
+        # rows are addressed by slot (bucket values / live slots); their full
+        # tuples are never rebuilt on the probe path.
+        columns = relation.columns()
+        new_columns = tuple(columns[p] for p in new_positions)
 
         if self.key_positions:
             get = relation.index_on(self.key_positions).get
             sources = self.key_sources
             # Fast path: single bound-slot key, nothing to re-check per match
-            # (the common chain/star join): pure index probe + tuple append.
+            # (the common chain/star join): pure index probe + column read.
             if simple and len(sources) == 1 and sources[0][0]:
                 slot = sources[0][1]
-                if len(new_positions) == 1:
-                    np0 = new_positions[0]
+                if len(new_columns) == 1:
+                    column = new_columns[0]
                     for row in rows:
                         bucket = get((row[slot],))
                         if bucket:
                             probes += len(bucket)
-                            for match in bucket:
-                                append(row + (match[np0],))
+                            for match_slot in bucket.values():
+                                append(row + (column[match_slot],))
                 else:
                     for row in rows:
                         bucket = get((row[slot],))
                         if bucket:
                             probes += len(bucket)
-                            for match in bucket:
-                                append(row + tuple(match[p] for p in new_positions))
+                            for match_slot in bucket.values():
+                                append(row + tuple(c[match_slot] for c in new_columns))
             else:
                 for row in rows:
                     key = tuple(row[v] if is_slot else v for is_slot, v in sources)
@@ -166,22 +178,28 @@ class HashJoinStep:
                     if not bucket:
                         continue
                     probes += len(bucket)
-                    for match in bucket:
-                        if eq_pairs and any(match[a] != match[b] for a, b in eq_pairs):
+                    for match_slot in bucket.values():
+                        if eq_pairs and any(
+                            columns[a][match_slot] != columns[b][match_slot]
+                            for a, b in eq_pairs
+                        ):
                             continue
-                        new_row = row + tuple(match[p] for p in new_positions)
+                        new_row = row + tuple(c[match_slot] for c in new_columns)
                         if filters and not all(f(new_row) for f in filters):
                             continue
                         append(new_row)
         else:
             # Scan (first step) or cartesian product (disconnected subgoal).
-            matches = list(relation)
+            match_slots = list(relation.slots())
             for row in rows:
-                probes += len(matches)
-                for match in matches:
-                    if eq_pairs and any(match[a] != match[b] for a, b in eq_pairs):
+                probes += len(match_slots)
+                for match_slot in match_slots:
+                    if eq_pairs and any(
+                        columns[a][match_slot] != columns[b][match_slot]
+                        for a, b in eq_pairs
+                    ):
                         continue
-                    new_row = row + tuple(match[p] for p in new_positions)
+                    new_row = row + tuple(c[match_slot] for c in new_columns)
                     if filters and not all(f(new_row) for f in filters):
                         continue
                     append(new_row)
@@ -228,11 +246,40 @@ class PhysicalPlan:
         stats.subgoals += len(self.steps)
         if self.always_empty:
             return frozenset()
-        rows: List[Row] = [()]
-        for step in self.steps:
+        rows = self.run_steps(database, [()], stats)
+        return self.project_rows(rows, stats)
+
+    def run_steps(
+        self,
+        database: Database,
+        rows: List[Row],
+        stats: EvaluationStatistics,
+        start: int = 0,
+    ) -> List[Row]:
+        """Run the pipeline steps from ``start`` over a seed row list.
+
+        The parallel executor uses ``start`` to replay only the tail of the
+        pipeline inside a worker, over one partition of the first step's
+        output.  Returns the surviving rows (possibly empty).
+        """
+        for step in self.steps[start:]:
             rows = step.run(database, rows, stats)
             if not rows:
-                return frozenset()
+                return []
+        return rows
+
+    def project_rows(
+        self, rows: List[Row], stats: EvaluationStatistics
+    ) -> FrozenSet[Row]:
+        """Project and deduplicate surviving rows into the answer set.
+
+        Mirrors the interpreter's semantics: an unbound head variable raises
+        only when at least one assignment reaches projection (an empty row
+        list short-circuits to the empty answer set first — except for the
+        body-less ground-head query, whose seed row always survives).
+        """
+        if not rows:
+            return frozenset()
         if self.unbound_head_terms:
             raise EvaluationError(
                 f"head term {self.unbound_head_terms[0]} of query "

@@ -1,4 +1,4 @@
-"""A small registry mapping experiment ids (E1..E15) to their descriptions.
+"""A small registry mapping experiment ids (E1..E16) to their descriptions.
 
 The registry exists so ``benchmarks/`` and ``EXPERIMENTS.md`` agree on what
 each experiment id means; benchmark modules register themselves at import
@@ -105,6 +105,12 @@ EXPERIMENTS = [
                "the single-client warm p50, coalesces concurrent identical queries, "
                "and the observability layer costs <=5% on E13-style execution",
                "benchmarks/bench_e15_serving_latency.py"),
+    Experiment("E16", "Partitioned parallel hash joins vs serial compiled execution", "table",
+               "Hash-partitioning the probe pipeline across 4 forked workers answers "
+               "million-fact chain/star workload queries >=2.5x faster than the serial "
+               "compiled engine (enforced on hosts with >=4 cores), with identical "
+               "answer sets on every measured query and no silent serial fallbacks",
+               "benchmarks/bench_e16_parallel_scaling.py"),
 ]
 
 for _experiment in EXPERIMENTS:

@@ -23,6 +23,7 @@ from repro.datalog.printer import to_datalog, views_to_datalog
 from repro.datalog.queries import ConjunctiveQuery
 from repro.datalog.views import View, ViewSet
 from repro.engine.database import Database
+from repro.exec import default_executor_name
 from repro.service.session import RewritingSession
 
 
@@ -184,15 +185,19 @@ def run_batch(
     use_view_index: bool = True,
     with_answers: bool = False,
     processes: int = 1,
-    executor: str = "compiled",
+    executor: Optional[str] = None,
 ) -> BatchReport:
     """Process a workload of queries and report per-query and aggregate results.
 
     ``processes > 1`` fans the stream out over a :mod:`multiprocessing` pool
     (one session per worker).  If the pool cannot be created the batch falls
     back to sequential processing rather than failing.  ``executor`` picks
-    the evaluation engine of every session (see :class:`RewritingSession`).
+    the evaluation engine of every session (see :class:`RewritingSession`);
+    ``None`` resolves to the process-wide configured default here, in the
+    parent, so workers never re-read the default themselves.
     """
+    if executor is None:
+        executor = default_executor_name()
     view_set = views if isinstance(views, ViewSet) else ViewSet(list(views))
     texts = [_as_query_text(q) for q in queries]
     if with_answers and database is None:

@@ -49,7 +49,14 @@ from repro.containment.containment import is_contained
 from repro.containment.memo import containment_memo_stats
 from repro.engine.database import Database
 from repro.engine.evaluate import evaluate
-from repro.exec import EXECUTORS, CompiledExecutor, InterpretedExecutor
+from repro.exec import (
+    EXECUTORS,
+    CompiledExecutor,
+    InterpretedExecutor,
+    ParallelExecutor,
+    default_executor_name,
+    make_executor,
+)
 from repro.materialize.changelog import ChangeLog
 from repro.materialize.delta import Delta
 from repro.materialize.store import MaterializedViewStore
@@ -168,12 +175,16 @@ class RewritingSession:
     use_view_index:
         Consult a :class:`ViewRelevanceIndex` to prune views per request.
     executor:
-        ``"compiled"`` (default) evaluates plans through a session-owned
+        ``"compiled"`` evaluates plans through a session-owned
         :class:`repro.exec.CompiledExecutor`, so compiled physical plans are
         cached alongside the rewriting caches and a union rewriting's many
         disjuncts share their hash-join build sides (the indexes live on the
         materialized view relations).  ``"interpreted"`` uses the
-        backtracking interpreter.
+        backtracking interpreter; ``"parallel"`` fans large probe pipelines
+        across a forked worker pool (:class:`repro.exec.ParallelExecutor`).
+        ``None`` (the default) uses the process-wide configured default —
+        ``"compiled"`` unless overridden by :func:`set_default_executor` or
+        the ``REPRO_DEFAULT_EXECUTOR`` environment variable.
     instrumentation:
         Optional :class:`repro.obs.Instrumentation`.  When given, the session
         records per-stage latency histograms (rewrite cold/hit, execute,
@@ -190,9 +201,11 @@ class RewritingSession:
         mode: str = "equivalent",
         cache_size: int = 512,
         use_view_index: bool = True,
-        executor: str = "compiled",
+        executor: Optional[str] = None,
         instrumentation: Optional[Instrumentation] = None,
     ):
+        if executor is None:
+            executor = default_executor_name()
         if algorithm not in ALGORITHMS:
             raise RewritingError(
                 f"unknown algorithm {algorithm!r}; expected one of {', '.join(ALGORITHMS)}"
@@ -212,9 +225,7 @@ class RewritingSession:
         #: default for sessions built directly) every hook below is a single
         #: ``is None`` test, so the uninstrumented paths are unchanged.
         self._obs = instrumentation
-        self._executor = (
-            CompiledExecutor() if executor == "compiled" else InterpretedExecutor()
-        )
+        self._executor = make_executor(executor)
         self.cache_size = cache_size
         self.use_view_index = use_view_index
         self._views: ViewSet = views if isinstance(views, ViewSet) else ViewSet(list(views))
@@ -257,7 +268,9 @@ class RewritingSession:
         return self._database
 
     @property
-    def evaluation_executor(self) -> "CompiledExecutor | InterpretedExecutor":
+    def evaluation_executor(
+        self,
+    ) -> "CompiledExecutor | InterpretedExecutor | ParallelExecutor":
         """The executor instance evaluating this session's plans."""
         return self._executor
 
@@ -573,6 +586,12 @@ class RewritingSession:
         obs.cache_event(
             "plan", "compile", getattr(executor, "plan_misses", 0) - misses_before
         )
+        # The parallel executor reports per-partition worker wall times; feed
+        # them into their own stage histogram so partition skew is visible.
+        drain = getattr(executor, "drain_partition_timings", None)
+        if drain is not None:
+            for seconds in drain():
+                obs.observe_stage("execute_partition", seconds)
         return answers
 
     def _evaluate_plan(

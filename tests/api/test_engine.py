@@ -13,6 +13,7 @@ from repro.errors import (
 from repro.datalog.parser import parse_query, parse_views
 from repro.engine.database import Database
 from repro.engine.evaluate import evaluate
+from repro.exec import EXECUTORS, default_executor_name
 from repro.materialize.delta import Delta
 
 VIEWS = """
@@ -134,7 +135,9 @@ class TestAnswers:
         assert answer.provenance.kind == "equivalent"
         assert answer.provenance.views_used == ("v_rs",)
         assert "v_rs" in answer.provenance.rewriting
-        assert answer.provenance.executor == "compiled"
+        # The engine resolves the configured default (compiled unless the
+        # REPRO_DEFAULT_EXECUTOR override is in play, as in the CI matrix).
+        assert answer.provenance.executor == default_executor_name()
         assert not answer.provenance.cache_hit
 
     def test_provenance_base_fallback_and_cache_hits(self):
@@ -240,10 +243,41 @@ class TestBatchAndStats:
         assert stats["catalog"]["views"] == ["v_rs", "v_r", "v_s"]
         assert stats["catalog"]["relations"] == {"r": 2, "s": 2}
         assert stats["session"]["requests"] == 1
-        assert stats["session"]["executor"]["executor"] == "compiled"
+        assert stats["session"]["executor"]["executor"] == default_executor_name()
 
     def test_interpreted_executor_is_honoured(self):
         engine = make_engine(executor="interpreted")
         answer = engine.query(QUERY).answers()
         assert answer.provenance.executor == "interpreted"
         assert sorted(answer) == [(1, 5), (3, 6)]
+
+
+class TestExecutorMatrix:
+    """Every facade verb behaves identically under all three executors."""
+
+    @pytest.mark.parametrize("name", EXECUTORS)
+    def test_facade_verbs_are_executor_invariant(self, name):
+        engine = make_engine(executor=name)
+        answer = engine.query(QUERY).answers()
+        assert answer.provenance.executor == name
+        assert answer.sorted_rows() == [(1, 5), (3, 6)]
+        assert answer.provenance.source == "views"
+        assert answer.provenance.kind == "equivalent"
+
+        engine.apply("+ r(7, 2).")
+        after = engine.query(QUERY).answers()
+        assert after.sorted_rows() == [(1, 5), (3, 6), (7, 5)]
+        assert engine.extent("v_rs") == frozenset({(1, 5), (3, 6), (7, 5)})
+        assert engine.verify() == []
+
+        certain = engine.query(QUERY).certain()
+        assert certain.rows == frozenset({(1, 5), (3, 6), (7, 5)})
+
+        report = engine.batch(
+            [QUERY, "q(A, B) :- s(C, B), r(A, C)."], with_answers=True
+        )
+        assert report.errors == 0
+        assert report.items[0].answers == 3
+
+        stats = engine.stats()
+        assert stats["session"]["executor"]["executor"] == name

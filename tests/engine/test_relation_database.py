@@ -78,6 +78,32 @@ class TestRelation:
         copy.add((2,))
         assert len(relation) == 1
 
+    def test_repeated_delete_reinsert_keeps_buckets_exact(self):
+        # Regression for the O(bucket) list.remove discard: dict-backed
+        # buckets must stay exactly one entry per live row through heavy
+        # delete/reinsert churn on a hot key (structural check, no timing).
+        relation = Relation("r", 2, [(k % 5, k) for k in range(50)])
+        relation.index_on([0])
+        hot = (3, 3)
+        for _ in range(100):
+            assert relation.discard(hot)
+            assert relation.add(hot)
+        bucket = relation.index_on([0])[(3,)]
+        assert sorted(bucket) == [(3, k) for k in range(3, 50, 5)]
+        # Bucket slots point at the rows they claim; churn recycled slots
+        # rather than growing the columns.
+        for row, slot in bucket.items():
+            assert (relation.column(0)[slot], relation.column(1)[slot]) == row
+        stats = relation.storage_stats()
+        assert stats["rows"] == 50
+        assert stats["capacity"] == 50
+        assert stats["free_slots"] == 0
+        # The maintained index equals a from-scratch rebuild, bucket for bucket.
+        fresh = Relation("r", 2, relation.tuples())
+        assert {key: set(b) for key, b in relation.index_on([0]).items()} == {
+            key: set(b) for key, b in fresh.index_on([0]).items()
+        }
+
 
 class TestDatabase:
     def test_from_dict_and_tuples(self):

@@ -15,6 +15,8 @@ from repro.engine.relation import SkolemValue
 from repro.exec import (
     CompiledExecutor,
     InterpretedExecutor,
+    ParallelExecutor,
+    default_executor_name,
     get_default_executor,
     resolve_executor,
     set_default_executor,
@@ -22,6 +24,13 @@ from repro.exec import (
 
 COMPILED = CompiledExecutor()
 INTERPRETED = InterpretedExecutor()
+# Two workers with no size threshold: even the small test databases take the
+# real partitioned path, so equivalence covers the fork/ship/merge machinery.
+PARALLEL = ParallelExecutor(processes=2, min_partition_rows=1)
+
+#: Every executor behind the common interface, for parametrized equivalence.
+ALL_EXECUTORS = [COMPILED, INTERPRETED, PARALLEL]
+EXECUTOR_IDS = [executor.name for executor in ALL_EXECUTORS]
 
 
 def random_db(seed=0, size=200, domain=25):
@@ -38,13 +47,14 @@ def random_db(seed=0, size=200, domain=25):
 
 
 def assert_engines_agree(query, db):
-    compiled = evaluate(query, db, executor=COMPILED)
     interpreted = evaluate(query, db, executor=INTERPRETED)
-    assert compiled == interpreted
-    return compiled
+    for executor in (COMPILED, PARALLEL):
+        assert evaluate(query, db, executor=executor) == interpreted
+    return interpreted
 
 
 class TestEquivalence:
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=EXECUTOR_IDS)
     @pytest.mark.parametrize(
         "text",
         [
@@ -66,8 +76,12 @@ class TestEquivalence:
             "q(X) :- r(3, X).",
         ],
     )
-    def test_same_answers_as_interpreter(self, text):
-        assert_engines_agree(parse_query(text), random_db())
+    def test_same_answers_as_interpreter(self, text, executor):
+        query = parse_query(text)
+        db = random_db()
+        assert evaluate(query, db, executor=executor) == evaluate(
+            query, db, executor=INTERPRETED
+        )
 
     def test_union_queries_agree(self):
         db = random_db(3)
@@ -97,7 +111,7 @@ class TestEquivalence:
     def test_arity_mismatch_raises_in_both_engines(self):
         db = Database.from_dict({"r": [(1, 2)]})
         query = parse_query("q(X) :- r(X).")
-        for executor in (COMPILED, INTERPRETED):
+        for executor in ALL_EXECUTORS:
             with pytest.raises(EvaluationError):
                 evaluate(query, db, executor=executor)
 
@@ -108,7 +122,7 @@ class TestEquivalence:
         query = ConjunctiveQuery(Atom("q", [y]), [Atom("r", [x, x])], require_safe=False)
         empty = Database.from_dict({"r": [(1, 2)]})  # r(X, X) never matches
         matching = Database.from_dict({"r": [(1, 1)]})
-        for executor in (COMPILED, INTERPRETED):
+        for executor in ALL_EXECUTORS:
             assert evaluate(query, empty, executor=executor) == frozenset()
             with pytest.raises(EvaluationError):
                 evaluate(query, matching, executor=executor)
@@ -223,21 +237,25 @@ class TestSharedBuildSides:
 
 
 class TestDefaultExecutor:
-    def test_default_is_compiled(self):
-        assert get_default_executor().name == "compiled"
+    def test_default_matches_configuration(self):
+        # "compiled" unless REPRO_DEFAULT_EXECUTOR overrides it (the CI
+        # parallel leg runs this very test with the override in place).
+        assert get_default_executor().name == default_executor_name()
 
     def test_set_and_restore_default(self):
+        configured = default_executor_name()
         set_default_executor("interpreted")
         try:
             assert get_default_executor().name == "interpreted"
         finally:
-            set_default_executor("compiled")
-        assert get_default_executor().name == "compiled"
+            set_default_executor(None)  # None = back to the configured default
+        assert get_default_executor().name == configured
 
     def test_resolve_accepts_instances_and_rejects_junk(self):
         executor = CompiledExecutor()
         assert resolve_executor(executor) is executor
         assert resolve_executor("interpreted").name == "interpreted"
+        assert resolve_executor("parallel").name == "parallel"
         with pytest.raises(EvaluationError):
             resolve_executor("vectorized")
         with pytest.raises(EvaluationError):
@@ -263,4 +281,6 @@ class TestMaterializeThroughExecutor:
         )
         compiled = materialize_views(views, db, executor=COMPILED)
         interpreted = materialize_views(views, db, executor=INTERPRETED)
+        parallel = materialize_views(views, db, executor=PARALLEL)
         assert compiled == interpreted
+        assert parallel == interpreted

@@ -267,6 +267,43 @@ class TestCoalescing:
         assert all(payload["coalesced"] is False for _, payload, _ in results)
 
 
+class TestExecutorInvariance:
+    @pytest.mark.parametrize("name", ["compiled", "interpreted", "parallel"])
+    def test_concurrent_coalesced_results_are_executor_invariant(self, name):
+        """HTTP query results are identical whichever executor serves them,
+        including when concurrent identical requests coalesce onto one run."""
+        engine = connect(views=VIEWS, data=DATA, executor=name)
+        followers = 2
+        results = []
+        renamed = "q(U, W) :- r(U, V), s(V, W)."  # same fingerprint as QUERY
+        with ReproServer(engine) as server:
+            with server._engine_lock:  # workers block here at a known point
+                threads = [_post_in_thread(server, "/query", {"query": QUERY}, results)]
+                wait_until(lambda: server._inflight, message="leader never admitted")
+                coalesced = server._obs.registry.get("repro_server_coalesced_total")
+                for _ in range(followers):
+                    threads.append(
+                        _post_in_thread(server, "/query", {"query": renamed}, results)
+                    )
+                wait_until(
+                    lambda: coalesced.value >= followers,
+                    message="followers never coalesced",
+                )
+            for thread in threads:
+                thread.join(timeout=30)
+        assert all(status == 200 for status, _, _ in results)
+        # The invariant across the executor parametrization: every response
+        # (leader and coalesced followers alike) carries exactly these rows.
+        assert [sorted(payload["rows"]) for _, payload, _ in results] == [
+            [[1, 5], [3, 6]]
+        ] * (followers + 1)
+        assert sorted(payload["coalesced"] for _, payload, _ in results) == [
+            False,
+            True,
+            True,
+        ]
+
+
 class TestBackpressure:
     def test_admission_above_queue_limit_is_503(self):
         engine = connect(views=VIEWS, data=DATA)
