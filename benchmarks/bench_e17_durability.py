@@ -1,0 +1,215 @@
+"""E17 — crash recovery restores exact state; snapshots beat full replay.
+
+The storage layer's claims:
+
+1. **Exactness** — after a simulated crash (the writing engine is abandoned
+   without a clean close), restart-replay recovery rebuilds a million-fact
+   engine whose probe answers match the never-crashed writer tuple for
+   tuple: zero mismatches, and the maintained view extents verify against
+   full recomputation.
+2. **Checkpointing pays** — recovering from a snapshot plus the short WAL
+   tail behind it is at least 3x faster than replaying the entire delta
+   log from an empty base.
+
+Two storage directories receive the *same* delta stream (memory backend,
+``fsync="none"`` — the benchmark measures replay work, not disk syncing):
+``full/`` never checkpoints, so recovery replays every delta; ``tail/``
+checkpoints at 90% of the stream, so recovery loads the snapshot and
+replays the last 10%.  Both recovered engines are probed against answers
+captured from the writer before the crash.
+
+Writes the machine-readable ``BENCH_e17.json`` at the repo root.  The
+exactness assertions always run; the speedup target is enforced only
+outside ``REPRO_BENCH_SMOKE=1`` (at smoke scale the tail's fixed costs —
+process-warm imports, snapshot decode — swamp the replay work the ratio is
+about).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.api import connect
+from repro.experiments.measure import sample_stats
+from repro.materialize.delta import Delta
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SPEEDUP_TARGET = 3.0
+TOTAL_FACTS = 20_000 if SMOKE else 1_000_000
+DELTA_BATCH = 1_000 if SMOKE else 5_000
+#: Fraction of the stream behind the tail/ directory's checkpoint.
+CHECKPOINT_AT = 0.9
+ROUNDS = 1 if SMOKE else 2
+PROBE_KEYS = 16
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_e17.json"
+
+VIEWS = "v_edge(X, Y) :- edge(X, Y)."
+
+
+def _delta_stream():
+    """Insert batches with a sprinkle of deletions of earlier rows.
+
+    ``edge(i, i+1)`` rows arrive in order; every tenth batch also removes a
+    handful of rows from the previous batch, so replay exercises both delta
+    sides and the final extent is not just "everything ever inserted".
+    """
+    deltas = []
+    for start in range(0, TOTAL_FACTS, DELTA_BATCH):
+        inserted = {
+            "edge": [(i, i + 1) for i in range(start, start + DELTA_BATCH)]
+        }
+        removed = {}
+        batch_index = start // DELTA_BATCH
+        if batch_index % 10 == 9 and start >= DELTA_BATCH:
+            removed = {
+                "edge": [(i, i + 1) for i in range(start - 10, start)]
+            }
+        deltas.append(Delta(inserted=inserted, removed=removed))
+    return deltas
+
+
+def _probe_queries(final_size):
+    """Constant-bound point probes plus one size probe, spread over the keys."""
+    step = max(1, TOTAL_FACTS // PROBE_KEYS)
+    return [
+        f"q{index}(Y) :- edge({key}, Y)."
+        for index, key in enumerate(range(0, TOTAL_FACTS, step))
+    ]
+
+
+def _probe(engine, queries):
+    return [sorted(engine.query(text).answers().rows) for text in queries]
+
+
+def _write_stream(storage, deltas, checkpoint_after=None):
+    """Apply the stream into ``storage``; abandon the engine (simulated crash).
+
+    Returns (probe answers, final fact count, seconds spent applying).
+    The engine is *not* closed: with ``fsync="none"`` every append is still
+    in the OS page cache, which is exactly the state a ``kill -9`` leaves.
+    """
+    engine = connect(views=VIEWS, storage=storage, wal="none")
+    started = time.perf_counter()
+    for index, delta in enumerate(deltas):
+        engine.apply(delta)
+        if checkpoint_after is not None and index + 1 == checkpoint_after:
+            engine.checkpoint()
+    apply_seconds = time.perf_counter() - started
+    queries = _probe_queries(engine.database.size())
+    answers = _probe(engine, queries)
+    size = engine.database.size()
+    return answers, queries, size, apply_seconds
+
+
+def _recover(storage, queries):
+    """One timed recovery; returns (seconds, engine report, probe answers)."""
+    started = time.perf_counter()
+    engine = connect(views=VIEWS, storage=storage)
+    seconds = time.perf_counter() - started
+    answers = _probe(engine, queries)
+    report = engine.recovery_report
+    size = engine.database.size()
+    verify_mismatches = len(engine.verify())
+    engine.close()
+    return seconds, report, answers, size, verify_mismatches
+
+
+def _mismatches(expected, got):
+    return sum(1 for left, right in zip(expected, got) if left != right)
+
+
+def _run_all(base_dir):
+    deltas = _delta_stream()
+    checkpoint_after = int(len(deltas) * CHECKPOINT_AT)
+    full_dir = os.path.join(base_dir, "full")
+    tail_dir = os.path.join(base_dir, "tail")
+
+    expected, queries, writer_size, apply_seconds = _write_stream(full_dir, deltas)
+    tail_expected, _, tail_size, _ = _write_stream(
+        tail_dir, deltas, checkpoint_after=checkpoint_after
+    )
+    assert tail_expected == expected and tail_size == writer_size
+
+    modes = {}
+    for mode, directory in (("full_replay", full_dir), ("snapshot_tail", tail_dir)):
+        samples = []
+        report = answers = size = verify_mismatches = None
+        for _ in range(ROUNDS):
+            seconds, report, answers, size, verify_mismatches = _recover(
+                directory, queries
+            )
+            samples.append(seconds)
+        modes[mode] = {
+            "seconds": min(samples),
+            "latency": sample_stats(samples),
+            "recovered_facts": size,
+            "probe_mismatches": _mismatches(expected, answers),
+            "verify_mismatches": verify_mismatches,
+            "base_seq": report["base_seq"],
+            "replayed": report["replayed"],
+            "store_restored": report["store_restored"],
+        }
+
+    speedup = (
+        modes["full_replay"]["seconds"] / modes["snapshot_tail"]["seconds"]
+        if modes["snapshot_tail"]["seconds"]
+        else float("inf")
+    )
+    results = {
+        "experiment": "E17",
+        "smoke": SMOKE,
+        "total_facts": TOTAL_FACTS,
+        "deltas": len(deltas),
+        "delta_batch": DELTA_BATCH,
+        "checkpoint_after_deltas": checkpoint_after,
+        "writer_facts": writer_size,
+        "writer_apply_seconds": apply_seconds,
+        "probe_queries": len(queries),
+        "rounds": ROUNDS,
+        "speedup_target": SPEEDUP_TARGET,
+        "speedup_enforced": not SMOKE,
+        "snapshot_tail_speedup": speedup,
+        "modes": modes,
+    }
+    RESULT_PATH.write_text(json.dumps(results, indent=2))
+    return results
+
+
+def test_e17_durability(benchmark, tmp_path):
+    results = benchmark.pedantic(
+        _run_all, args=(str(tmp_path),), rounds=1, iterations=1
+    )
+    benchmark.extra_info["experiment"] = "E17"
+    print()
+    print(
+        f"E17: crash recovery over {results['writer_facts']} facts "
+        f"({results['deltas']} deltas, checkpoint after "
+        f"{results['checkpoint_after_deltas']})"
+    )
+    for mode, row in results["modes"].items():
+        print(
+            f"  {mode:<14} {row['seconds']*1e3:9.1f} ms   base_seq {row['base_seq']:>4} "
+            f"replayed {row['replayed']:>4}   probe mismatches {row['probe_mismatches']}"
+        )
+    print(f"  snapshot+tail speedup: {results['snapshot_tail_speedup']:.2f}x")
+
+    full = results["modes"]["full_replay"]
+    tail = results["modes"]["snapshot_tail"]
+    # Exactness: both recoveries equal the never-crashed writer, and the
+    # maintained view extents survive a from-scratch recomputation check.
+    for mode, row in results["modes"].items():
+        assert row["probe_mismatches"] == 0, f"{mode}: recovered answers differ"
+        assert row["verify_mismatches"] == 0, f"{mode}: view extents diverged"
+        assert row["recovered_facts"] == results["writer_facts"]
+    # The two modes did the recovery work their names claim.
+    assert full["base_seq"] == 0 and full["replayed"] == results["deltas"]
+    assert tail["base_seq"] == results["checkpoint_after_deltas"]
+    assert tail["replayed"] == results["deltas"] - results["checkpoint_after_deltas"]
+    assert tail["store_restored"] is True
+    if results["speedup_enforced"]:
+        assert results["snapshot_tail_speedup"] >= SPEEDUP_TARGET, (
+            f"snapshot+tail recovery only {results['snapshot_tail_speedup']:.2f}x "
+            f"faster than full replay (target {SPEEDUP_TARGET}x)"
+        )
+    assert RESULT_PATH.exists()

@@ -45,8 +45,11 @@ from repro.errors import (
     ReproError,
     RewritingError,
     SchemaError,
+    SnapshotError,
+    StorageError,
     UnsafeQueryError,
     UnsupportedFeatureError,
+    WalCorruptionError,
 )
 from repro.datalog import (
     Atom,
@@ -138,12 +141,21 @@ from repro.api import (
     PreparedQuery,
     connect,
 )
+from repro.storage import (
+    BackedDatabase,
+    MemoryBackend,
+    StorageBackend,
+    StorageManager,
+    WriteAheadLog,
+    make_backend,
+)
 
 __version__ = "1.1.0"
 
 __all__ = [
     "Answer",
     "Atom",
+    "BackedDatabase",
     "BatchReport",
     "BucketRewriter",
     "Catalog",
@@ -167,6 +179,7 @@ __all__ = [
     "LRUCache",
     "MaterializationError",
     "MaterializedViewStore",
+    "MemoryBackend",
     "MiniConRewriter",
     "OptimizationResult",
     "ParallelExecutor",
@@ -182,6 +195,10 @@ __all__ = [
     "RewritingResult",
     "RewritingSession",
     "SchemaError",
+    "SnapshotError",
+    "StorageBackend",
+    "StorageError",
+    "StorageManager",
     "Substitution",
     "UnionQuery",
     "UnsafeQueryError",
@@ -191,6 +208,8 @@ __all__ = [
     "ViewChange",
     "ViewRelevanceIndex",
     "ViewSet",
+    "WalCorruptionError",
+    "WriteAheadLog",
     "certain_answers",
     "choose_best_plan",
     "connect",
@@ -207,6 +226,7 @@ __all__ = [
     "is_equivalent",
     "is_satisfiable",
     "fingerprint",
+    "make_backend",
     "materialize_views",
     "maximally_contained_rewriting",
     "measured_cost",

@@ -209,17 +209,21 @@ class Catalog:
             self._check_predicate(name, arity, f"query {query.name}")
 
     def validate_database(self, database: Database) -> None:
-        """Check an attached base database's relations against the schema."""
-        for relation in database.relations():
-            known = self.schema.get(relation.name)
-            if known is not None and known != relation.arity:
+        """Check an attached base database's relations against the schema.
+
+        Reads only the database's schema (names and arities) — never row
+        content — so validating a storage-backed database stays lazy.
+        """
+        for name, arity in database.schema().items():
+            known = self.schema.get(name)
+            if known is not None and known != arity:
                 raise SchemaError(
-                    f"attached data has {relation.name} with arity "
-                    f"{relation.arity}, but the catalog declares arity {known}"
+                    f"attached data has {name} with arity "
+                    f"{arity}, but the catalog declares arity {known}"
                 )
-            if relation.name in self.views:
+            if name in self.views:
                 raise SchemaError(
-                    f"attached base data contains relation {relation.name}, "
+                    f"attached base data contains relation {name}, "
                     "which is a view name (did you mean view_instance=?)"
                 )
 

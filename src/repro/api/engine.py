@@ -25,6 +25,7 @@ supported underneath it.
 
 from __future__ import annotations
 
+import os
 import time
 from contextlib import nullcontext
 from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
@@ -34,6 +35,7 @@ from repro.errors import (
     EvaluationError,
     MaterializationError,
     QueryConstructionError,
+    StorageError,
 )
 from repro.datalog.parser import parse_database, parse_program, parse_query
 from repro.datalog.printer import to_datalog
@@ -47,6 +49,15 @@ from repro.rewriting.certain import certain_answers
 from repro.rewriting.plans import Rewriting, RewritingKind, RewritingResult
 from repro.service.batch import BatchReport, run_batch
 from repro.service.session import RewritingSession
+from repro.storage import (
+    BackedDatabase,
+    RecoveryResult,
+    StorageManager,
+    default_backend_name,
+    list_snapshots,
+    make_backend,
+)
+from repro.storage.manager import SQLITE_FILENAME
 from repro.api.catalog import Catalog, ConstraintsLike, SchemaLike, ViewsLike
 from repro.api.results import (
     Answer,
@@ -90,6 +101,10 @@ def connect(
     cache_size: int = 512,
     use_view_index: bool = True,
     observability: bool = True,
+    backend: Optional[str] = None,
+    storage: Optional[str] = None,
+    wal: "None | bool | str" = None,
+    snapshot: Optional[int] = None,
 ) -> "Engine":
     """Open an :class:`Engine` over a validated catalog.
 
@@ -124,16 +139,70 @@ def connect(
         histograms, cache-event counters and request traces, readable via
         :meth:`Engine.metrics` (Prometheus text) and :meth:`Engine.trace`.
         Pass False for a bare engine with zero instrumentation overhead.
+    backend:
+        The storage backend: ``"memory"`` (the default columnar store) or
+        ``"sqlite"`` (rows in SQLite with scan pushdown).  ``None`` reads
+        the ``REPRO_DEFAULT_BACKEND`` environment variable, falling back to
+        memory.  Without ``storage``, the sqlite backend uses an in-memory
+        SQLite database (no persistence, but exercising the full adapter).
+    storage:
+        A durable storage directory (created if absent): the write-ahead
+        log, snapshots and (for the sqlite backend) the base rows live
+        there.  A fresh directory ingests ``data``; a directory holding
+        prior state is *recovered* — pass no ``data`` then — and the
+        :attr:`Engine.recovery_report` says what happened.
+    wal:
+        The WAL fsync policy for a durable directory: True / ``"always"``
+        syncs every append, ``"batch"`` (the default) syncs per flush,
+        False / ``"none"`` leaves syncing to the OS.  Requires ``storage``.
+    snapshot:
+        Auto-checkpoint every N applied deltas (``engine.checkpoint()``
+        forces one).  Requires ``storage``.
     """
     database = as_database(data)
     instance = as_database(view_instance)
+    manager: Optional[StorageManager] = None
+    recovery: Optional[RecoveryResult] = None
+    if storage is None:
+        if wal is not None:
+            raise StorageError("wal= requires a storage directory (storage=...)")
+        if snapshot is not None:
+            raise StorageError("snapshot= requires a storage directory (storage=...)")
+        backend_name = backend if backend is not None else default_backend_name()
+        if backend_name != "memory" and database is not None:
+            database = BackedDatabase.from_database(
+                database, make_backend(backend_name)
+            )
+    else:
+        backend_name = backend
+        if backend_name is None:
+            # Reopening a directory must pick the backend its base rows
+            # actually live in; only a genuinely fresh directory consults
+            # the environment default.
+            if os.path.exists(os.path.join(storage, SQLITE_FILENAME)):
+                backend_name = "sqlite"
+            else:
+                backend_name = default_backend_name()
+        manager = StorageManager(storage, backend=backend_name, fsync=_fsync_policy(wal))
+        has_state = manager.last_seq > 0 or bool(list_snapshots(storage))
+        if has_state:
+            if database is not None:
+                manager.close()
+                raise StorageError(
+                    f"storage directory {storage!r} already holds state; "
+                    "omit data= to recover it (or point at a new directory)"
+                )
+            recovery = manager.recover()
+            database = recovery.database
+        else:
+            database = manager.attach_database(
+                database if database is not None else Database()
+            )
     catalog = Catalog(
         schema=schema,
         views=views,
         constraints=constraints,
-        data_schema={r.name: r.arity for r in database.relations()}
-        if database is not None
-        else None,
+        data_schema=database.schema() if database is not None else None,
     )
     return Engine(
         catalog,
@@ -145,7 +214,20 @@ def connect(
         cache_size=cache_size,
         use_view_index=use_view_index,
         observability=observability,
+        storage_manager=manager,
+        recovery=recovery,
+        snapshot_interval=snapshot,
     )
+
+
+def _fsync_policy(wal: "None | bool | str") -> str:
+    if wal is None:
+        return "batch"
+    if wal is True:
+        return "always"
+    if wal is False:
+        return "none"
+    return str(wal)
 
 
 class PreparedQuery:
@@ -196,6 +278,9 @@ class Engine:
         cache_size: int = 512,
         use_view_index: bool = True,
         observability: bool = True,
+        storage_manager: Optional[StorageManager] = None,
+        recovery: Optional[RecoveryResult] = None,
+        snapshot_interval: Optional[int] = None,
     ):
         if not isinstance(catalog, Catalog):
             raise QueryConstructionError(f"expected a Catalog, got {catalog!r}")
@@ -227,6 +312,32 @@ class Engine:
         )
         self.queries_served = 0
         self.deltas_applied = 0
+        self._storage = storage_manager
+        self._snapshot_interval = (
+            int(snapshot_interval) if snapshot_interval else None
+        )
+        self._deltas_since_checkpoint = 0
+        #: What recovery found and replayed, or None for a fresh engine.
+        self.recovery_report: Optional[Dict[str, Any]] = None
+        if storage_manager is not None:
+            if self._obs is not None:
+                storage_manager.bind_metrics(self._obs)
+            if recovery is not None:
+                self._replay_recovery(recovery)
+
+    def _replay_recovery(self, recovery: RecoveryResult) -> None:
+        """Apply the recovered WAL tail through the session (view-maintaining)."""
+        assert self._storage is not None
+        store_restored = False
+        if recovery.store_state is not None:
+            store_restored = self._session.restore_store_state(recovery.store_state)
+        for record in recovery.tail:
+            self._session.apply_delta(parse_delta(record.payload))
+            self._storage.mark_applied(record.seq)
+        report = dict(recovery.report)
+        report["store_restored"] = store_restored
+        report["replayed"] = len(recovery.tail)
+        self.recovery_report = report
 
     # -- the verbs ---------------------------------------------------------------
     def query(self, query: QueryInput) -> PreparedQuery:
@@ -257,9 +368,42 @@ class Engine:
             if isinstance(delta, str):
                 delta = parse_delta(delta)
             self._require_database("apply a delta")
-            log = self._session.apply_delta(delta)
+            if self._storage is not None:
+                # The durable protocol: journal first, apply second, move
+                # the applied-watermark last.  Replay is idempotent, so a
+                # crash between any two steps recovers exactly.
+                assert self._session.database is not None
+                seq = self._storage.journal(delta, self._session.database.version)
+                log = self._session.apply_delta(delta)
+                self._storage.mark_applied(seq)
+            else:
+                log = self._session.apply_delta(delta)
         self.deltas_applied += 1
+        if self._storage is not None and self._snapshot_interval:
+            self._deltas_since_checkpoint += 1
+            if self._deltas_since_checkpoint >= self._snapshot_interval:
+                self.checkpoint()
         return log
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Write a snapshot of the current state to the storage directory.
+
+        Captures the base extents and (when materialized) the view store's
+        derivation counters at the current WAL position, so a later restart
+        replays only the log tail.  Returns ``{"path", "seq", "bytes"}``.
+        """
+        if self._storage is None:
+            raise StorageError(
+                "this engine has no storage directory; open it with "
+                "repro.connect(storage=...) to checkpoint"
+            )
+        self._require_database("checkpoint")
+        assert self._session.database is not None
+        info = self._storage.checkpoint(
+            self._session.database, self._session.export_store_state()
+        )
+        self._deltas_since_checkpoint = 0
+        return info
 
     def batch(
         self,
@@ -295,7 +439,26 @@ class Engine:
             "queries_served": self.queries_served,
             "deltas_applied": self.deltas_applied,
             "session": self._session.stats(),
+            "storage": self.storage_status(),
         }
+
+    def storage_status(self) -> Optional[Dict[str, Any]]:
+        """Durability health: backend, WAL position/lag, snapshot freshness.
+
+        None for a plain in-memory engine with no storage attached; the
+        server's ``/healthz`` embeds this when present.
+        """
+        backend = getattr(self._session.database, "backend", None)
+        if self._storage is None:
+            if backend is None:
+                return None
+            return {"backend": backend.capabilities.to_dict()}
+        status = self._storage.status()
+        if backend is not None:
+            status["db_backend"] = backend.capabilities.to_dict()
+        if self.recovery_report is not None:
+            status["recovered"] = True
+        return status
 
     # -- observability -------------------------------------------------------------
     def metrics(self) -> str:
@@ -414,9 +577,21 @@ class Engine:
         return self._session.last_cache_hit
 
     # -- lifecycle ----------------------------------------------------------------
+    @property
+    def storage(self) -> Optional[StorageManager]:
+        """The storage manager (None without a storage directory)."""
+        return self._storage
+
     def close(self) -> None:
-        """Drop every cache and materialization (the engine stays usable)."""
+        """Drop every cache and materialization; flush and close storage.
+
+        Without storage the engine stays usable afterwards (the caches
+        rebuild); with a storage directory the WAL and backend are closed,
+        so further :meth:`apply` calls raise :class:`StorageError`.
+        """
         self._session.invalidate()
+        if self._storage is not None:
+            self._storage.close()
 
     def __enter__(self) -> "Engine":
         return self

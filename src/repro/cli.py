@@ -30,8 +30,18 @@ argument-parsing shell around ``repro.connect(...)`` and the engine verbs:
 ``python -m repro batch``
     Process a file of workload queries through one engine, optionally with
     multiprocessing fan-out, and report per-query results and throughput.
+``python -m repro snapshot``
+    Checkpoint a durable storage directory: write a snapshot of the current
+    (recovered) state so later restarts replay only the WAL tail.
+``python -m repro restore``
+    Recover a durable storage directory and report what happened — snapshot
+    used, WAL records replayed, corruption repaired; ``--output`` exports the
+    recovered facts, ``--verify`` cross-checks maintained view extents.
+``python -m repro replay``
+    Inspect a write-ahead log: record count, last sequence number, and any
+    trailing corruption (``--repair`` truncates a damaged tail in place).
 ``python -m repro experiments``
-    List the reproduced experiments (E1..E16) and the bench that regenerates
+    List the reproduced experiments (E1..E17) and the bench that regenerates
     each.
 
 Queries and views are given inline or in files, in the datalog syntax of
@@ -57,7 +67,12 @@ code   error
 71     ``MaterializationError``
 72     ``UnsupportedFeatureError``
 73     ``ConstraintViolationError``
+74     ``StorageError`` (including WAL/snapshot corruption)
 =====  ==========================================================
+
+``replay`` exits 1 (not 74) when it *finds* trailing corruption without
+``--repair`` — the log is readable and the condition is the command's answer,
+not a failure; unrecognizable files (bad magic) still exit 74.
 """
 
 from __future__ import annotations
@@ -76,6 +91,7 @@ from repro.errors import (
     ReproError,
     RewritingError,
     SchemaError,
+    StorageError,
     UnsafeQueryError,
     UnsupportedFeatureError,
 )
@@ -98,6 +114,7 @@ EXIT_CODES = {
     MaterializationError: 71,
     UnsupportedFeatureError: 72,
     ConstraintViolationError: 73,
+    StorageError: 74,
 }
 
 
@@ -140,6 +157,14 @@ def _engine_for(args: argparse.Namespace, **overrides):
         "cache_size": getattr(args, "cache_size", 512),
         "use_view_index": not getattr(args, "no_view_index", False),
     }
+    if getattr(args, "backend", None):
+        options["backend"] = args.backend
+    if getattr(args, "storage", None):
+        options["storage"] = args.storage
+        if getattr(args, "wal", None):
+            options["wal"] = args.wal
+        if getattr(args, "snapshot_every", None):
+            options["snapshot"] = args.snapshot_every
     options.update(overrides)
     return connect(**options)
 
@@ -427,12 +452,148 @@ def _command_batch(args: argparse.Namespace, out) -> int:
     return 0 if report.errors == 0 else 1
 
 
+def _command_snapshot(args: argparse.Namespace, out) -> int:
+    engine = connect(
+        views=_read_text(args.views) if args.views else None,
+        storage=args.storage,
+        backend=args.backend or None,
+    )
+    try:
+        info = engine.checkpoint()
+    finally:
+        engine.close()
+    print(
+        f"# snapshot {info['path']}: seq={info['seq']} bytes={info['bytes']}",
+        file=out,
+    )
+    return 0
+
+
+def _command_restore(args: argparse.Namespace, out) -> int:
+    engine = connect(
+        views=_read_text(args.views) if args.views else None,
+        storage=args.storage,
+        backend=args.backend or None,
+    )
+    try:
+        report = engine.recovery_report
+        if report is None:
+            print("# nothing to recover: the storage directory was fresh", file=out)
+        else:
+            snapshot = report.get("snapshot")
+            if snapshot:
+                base = f"snapshot seq {snapshot['seq']}"
+            elif report.get("backend") == "sqlite":
+                base = f"sqlite base store at seq {report['base_seq']}"
+            else:
+                base = "empty state"
+            print(
+                f"# recovered from {base} + {report['replayed']} WAL record(s) "
+                f"(backend: {report['backend']})",
+                file=out,
+            )
+            for skipped in report.get("snapshots_skipped", ()):
+                print(f"# skipped snapshot {skipped['path']}: {skipped['error']}", file=out)
+            wal = report.get("wal", {})
+            if wal.get("corruption"):
+                print(
+                    f"# wal corruption repaired: {wal['corruption']} "
+                    f"(truncated at byte {wal['truncated_at']})",
+                    file=out,
+                )
+        database = engine.database
+        assert database is not None
+        print(f"# state: {database.size()} facts in "
+              f"{len(database.relation_names())} relation(s)", file=out)
+        if args.output:
+            from repro.materialize.delta import _value_to_text
+
+            lines = []
+            for name in sorted(database.relation_names()):
+                for row in sorted(database.tuples(name), key=repr):
+                    rendered = ", ".join(_value_to_text(value) for value in row)
+                    lines.append(f"{name}({rendered}).")
+            Path(args.output).write_text("\n".join(lines) + ("\n" if lines else ""))
+            print(f"# wrote {len(lines)} facts to {args.output}", file=out)
+        if args.verify:
+            if not args.views:
+                print("# --verify needs --views (nothing to cross-check)", file=out)
+                return 1
+            mismatches = engine.verify()
+            if mismatches:
+                for mismatch in mismatches:
+                    print(f"MISMATCH {mismatch}", file=out)
+                return 1
+            print("# verified: maintained extents equal full recomputation", file=out)
+    finally:
+        engine.close()
+    return 0
+
+
+def _command_replay(args: argparse.Namespace, out) -> int:
+    import os
+
+    from repro.storage import read_wal
+    from repro.storage.manager import WAL_FILENAME
+
+    path = args.wal_file or os.path.join(args.storage, WAL_FILENAME)
+    records, report = read_wal(path, repair=args.repair)
+    print(
+        f"# wal {path}: {report.records} record(s), last seq {report.last_seq}, "
+        f"{report.bytes_read} byte(s)",
+        file=out,
+    )
+    if args.show:
+        for record in records:
+            changes = record.payload.count("\n") + 1 if record.payload else 0
+            print(
+                f"  seq={record.seq} version={record.db_version} "
+                f"lines={changes}",
+                file=out,
+            )
+    if report.corruption is not None:
+        status = "repaired" if report.repaired else "found (re-run with --repair)"
+        print(
+            f"# corruption {status}: {report.corruption} at byte "
+            f"{report.truncated_at}",
+            file=out,
+        )
+        return 0 if report.repaired else 1
+    print("# log is clean", file=out)
+    return 0
+
+
 def _command_experiments(args: argparse.Namespace, out) -> int:
     for experiment in all_experiments():
         print(f"{experiment.id:<4} [{experiment.artefact:<6}] {experiment.title}", file=out)
         print(f"     claim : {experiment.claim}", file=out)
         print(f"     bench : {experiment.bench_module}", file=out)
     return 0
+
+
+def _add_storage_flags(parser: argparse.ArgumentParser, required: bool = False) -> None:
+    from repro.storage import BACKENDS
+
+    parser.add_argument(
+        "--storage", required=required, default=None, metavar="DIR",
+        help="persistent storage directory (write-ahead log + snapshots); "
+             "recovers any existing state on startup",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="storage backend: memory (snapshot + full WAL replay) or sqlite "
+             "(transactional base-fact store); default: auto-detect from the "
+             "directory, else REPRO_DEFAULT_BACKEND or memory",
+    )
+    parser.add_argument(
+        "--wal", choices=["always", "batch", "none"], default=None,
+        help="WAL fsync policy: always (fsync per append), batch (fsync on "
+             "checkpoint/close; default), none (no fsync — fast, crash-unsafe)",
+    )
+    parser.add_argument(
+        "--snapshot-every", type=int, default=None, dest="snapshot_every",
+        metavar="N", help="write a checkpoint snapshot every N applied deltas",
+    )
 
 
 def _add_executor_flag(parser: argparse.ArgumentParser) -> None:
@@ -569,6 +730,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print stats as one JSON object instead of '#' comment lines",
     )
     _add_executor_flag(serve_parser)
+    _add_storage_flags(serve_parser)
     serve_parser.set_defaults(handler=_command_serve)
 
     stats_parser = subparsers.add_parser(
@@ -594,6 +756,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print stats as one JSON object instead of '#' comment lines",
     )
     _add_executor_flag(stats_parser)
+    _add_storage_flags(stats_parser)
     stats_parser.set_defaults(handler=_command_stats)
 
     batch_parser = subparsers.add_parser(
@@ -621,6 +784,63 @@ def build_parser() -> argparse.ArgumentParser:
     _add_executor_flag(batch_parser)
     batch_parser.add_argument("--json", help="write the full report to this JSON file")
     batch_parser.set_defaults(handler=_command_batch)
+
+    snapshot_parser = subparsers.add_parser(
+        "snapshot", help="checkpoint a storage directory (base facts + view store)"
+    )
+    snapshot_parser.add_argument(
+        "--storage", required=True, metavar="DIR", help="persistent storage directory"
+    )
+    snapshot_parser.add_argument(
+        "--views", help="view definitions text or file (checkpoints the view "
+                        "store too, so recovery can skip re-materialization)"
+    )
+    snapshot_parser.add_argument(
+        "--backend", default=None,
+        help="override backend auto-detection (memory or sqlite)",
+    )
+    snapshot_parser.set_defaults(handler=_command_snapshot)
+
+    restore_parser = subparsers.add_parser(
+        "restore", help="recover a storage directory and report/export its state"
+    )
+    restore_parser.add_argument(
+        "--storage", required=True, metavar="DIR", help="persistent storage directory"
+    )
+    restore_parser.add_argument(
+        "--views", help="view definitions text or file (needed for --verify)"
+    )
+    restore_parser.add_argument(
+        "--backend", default=None,
+        help="override backend auto-detection (memory or sqlite)",
+    )
+    restore_parser.add_argument(
+        "--output", metavar="FILE", help="write the recovered facts to this file"
+    )
+    restore_parser.add_argument(
+        "--verify", action="store_true",
+        help="cross-check recovered view extents against full recomputation",
+    )
+    restore_parser.set_defaults(handler=_command_restore)
+
+    replay_parser = subparsers.add_parser(
+        "replay", help="inspect a write-ahead log; optionally repair a corrupt tail"
+    )
+    replay_parser.add_argument(
+        "--storage", required=True, metavar="DIR", help="persistent storage directory"
+    )
+    replay_parser.add_argument(
+        "--wal-file", default=None, metavar="FILE",
+        help="explicit WAL path (default: <storage>/wal.log)",
+    )
+    replay_parser.add_argument(
+        "--show", action="store_true", help="print one line per record"
+    )
+    replay_parser.add_argument(
+        "--repair", action="store_true",
+        help="truncate a corrupt tail so the log opens cleanly",
+    )
+    replay_parser.set_defaults(handler=_command_replay)
 
     experiments_parser = subparsers.add_parser(
         "experiments", help="list the reproduced experiments"

@@ -7,7 +7,10 @@ Syntax
 * A **fact** is a ground atom followed by a period, e.g. ``cites(a, b).``
 * **Variables** start with an upper-case letter or underscore (``X``, ``_Y``).
 * **Constants** are lower-case identifiers (``smith``), numbers (``3``,
-  ``4.5``, ``-2``) or quoted strings (``'New York'`` / ``"New York"``).
+  ``4.5``, ``-2``, ``1e-5``) or quoted strings (``'New York'`` /
+  ``"New York"``).  Strings support backslash escapes: ``\\``, ``\'``,
+  ``\"``, ``\n``, ``\r``, ``\t`` and ``\\uXXXX`` / ``\\UXXXXXXXX`` code
+  points; any other escaped character stands for itself.
 * **Comparisons** are infix: ``X < Y``, ``X != 'a'``, ``Z >= 10``.
 * ``%`` and ``#`` start a comment that runs to the end of the line.
 
@@ -40,8 +43,8 @@ _TOKEN_RE = re.compile(
   | (?P<rparen>\))
   | (?P<comma>,)
   | (?P<period>\.(?!\d))
-  | (?P<number>-?\d+\.\d+|-?\d+)
-  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>-?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)
+  | (?P<string>'(?:\\.|[^'\\])*'|"(?:\\.|[^"\\])*")
   | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
     """,
     re.VERBOSE,
@@ -76,6 +79,59 @@ def _tokenize(text: str) -> List[_Token]:
             tokens.append(_Token(kind, match.group(), position))
         position = match.end()
     return tokens
+
+
+#: One-character escape sequences (the inverse of the printer's escaping).
+_SIMPLE_ESCAPES = {"n": "\n", "r": "\r", "t": "\t"}
+
+
+def _unescape_string(body: str, text: str, position: int) -> str:
+    """Resolve backslash escapes in a quoted string's interior.
+
+    ``\\uXXXX`` and ``\\UXXXXXXXX`` name code points; ``\\n``/``\\r``/``\\t``
+    are the usual controls; any other escaped character stands for itself
+    (which covers ``\\\\``, ``\\'`` and ``\\"``).
+    """
+    if "\\" not in body:
+        return body
+    out: List[str] = []
+    index = 0
+    length = len(body)
+    while index < length:
+        char = body[index]
+        if char != "\\":
+            out.append(char)
+            index += 1
+            continue
+        # The token regex only matches a backslash followed by another
+        # character, so body[index + 1] exists.
+        escape = body[index + 1]
+        if escape in _SIMPLE_ESCAPES:
+            out.append(_SIMPLE_ESCAPES[escape])
+            index += 2
+        elif escape in ("u", "U"):
+            digits = 4 if escape == "u" else 8
+            hex_part = body[index + 2 : index + 2 + digits]
+            try:
+                code = int(hex_part, 16)
+                out.append(chr(code))
+            except (ValueError, OverflowError):
+                raise ParseError(
+                    f"invalid \\{escape} escape in string literal",
+                    text=text,
+                    position=position,
+                )
+            if len(hex_part) != digits:
+                raise ParseError(
+                    f"\\{escape} escape needs {digits} hex digits",
+                    text=text,
+                    position=position,
+                )
+            index += 2 + digits
+        else:
+            out.append(escape)
+            index += 2
+    return "".join(out)
 
 
 class _Parser:
@@ -121,10 +177,14 @@ class _Parser:
     def parse_term(self) -> Term:
         token = self._next()
         if token.kind == "number":
-            value = float(token.text) if "." in token.text else int(token.text)
+            text = token.text
+            is_float = "." in text or "e" in text or "E" in text
+            value = float(text) if is_float else int(text)
             return Constant(value)
         if token.kind == "string":
-            return Constant(token.text[1:-1])
+            return Constant(
+                _unescape_string(token.text[1:-1], self.text, token.position)
+            )
         if token.kind == "ident":
             name = token.text
             if name[0].isupper() or name[0] == "_":

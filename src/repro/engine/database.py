@@ -161,6 +161,15 @@ class Database:
     def relation(self, name: str) -> Optional[Relation]:
         return self._relations.get(name)
 
+    def schema(self) -> Dict[str, int]:
+        """Relation name → arity, without touching any relation's content.
+
+        Storage-backed databases keep this lazy: reading the schema never
+        hydrates a cold relation, so catalog validation over a recovered
+        million-fact database costs nothing.
+        """
+        return {name: relation.arity for name, relation in self._relations.items()}
+
     def relation_names(self) -> Tuple[str, ...]:
         return tuple(self._relations)
 
@@ -195,6 +204,13 @@ class Database:
     def size(self) -> int:
         """Total number of facts across all relations."""
         return sum(len(r) for r in self._relations.values())
+
+    def storage_stats(self) -> Dict[str, Any]:
+        """Per-relation physical storage counters (see :meth:`Relation.storage_stats`)."""
+        return {
+            name: relation.storage_stats()
+            for name, relation in self._relations.items()
+        }
 
     def copy(self) -> "Database":
         return Database(self._relations.values())

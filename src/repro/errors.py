@@ -106,6 +106,35 @@ class ConstraintViolationError(ReproError):
         self.violated = tuple(violated)
 
 
+class StorageError(ReproError):
+    """Raised by the persistence layer (:mod:`repro.storage`).
+
+    Covers backend failures (unsupported values or relation names, closed
+    backends), write-ahead-log problems and snapshot problems.  The two
+    recovery-relevant corruption cases carry their own subclasses below so
+    callers can distinguish "repairable tail damage" from "unusable file".
+    """
+
+
+class WalCorruptionError(StorageError):
+    """Raised when a write-ahead log is damaged beyond tail repair.
+
+    Torn tails and CRC-corrupt trailing records are *not* errors — recovery
+    truncates them cleanly (see :meth:`repro.storage.WriteAheadLog.replay`).
+    This is raised only when the file itself is unrecognizable (bad magic),
+    or when a corrupt record is found while repair is disabled.
+    """
+
+
+class SnapshotError(StorageError):
+    """Raised when a snapshot file is unreadable (bad magic, short, CRC).
+
+    Recovery treats this as "snapshot missing": it falls back to an older
+    snapshot or a full WAL replay rather than crashing (see
+    :meth:`repro.storage.StorageManager.recover`).
+    """
+
+
 class UnsupportedFeatureError(ReproError):
     """Raised when an algorithm is asked to handle a feature it does not support.
 

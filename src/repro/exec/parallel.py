@@ -65,7 +65,7 @@ from repro.engine.evaluate import (
     EvaluationStatistics,
     evaluate_conjunctive_interpreted,
 )
-from repro.exec.executor import CompiledExecutor
+from repro.exec.executor import CompiledExecutor, pushdown_single_atom
 from repro.exec.plan import PhysicalPlan, Row
 
 #: Default minimum size (build relation rows and scan-output rows) below
@@ -216,6 +216,10 @@ class ParallelExecutor:
             for disjunct in query.disjuncts:
                 answers |= self.evaluate(disjunct, database, stats)
             return frozenset(answers)
+        pushed = pushdown_single_atom(query, database)
+        if pushed is not None:
+            self._compiled.pushdowns += 1
+            return pushed
         plan = self._compiled.plan_for(query, database)
         if plan is None:
             self.fallback_reasons["not_compilable"] += 1

@@ -190,10 +190,55 @@ def _atoms_to_rows(atoms: Iterable[Atom]) -> Dict[str, list]:
     return rows
 
 
+#: Characters that must be escaped inside a double-quoted string literal:
+#: the delimiter and backslash, plus the common named controls.
+_STRING_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n", "\r": "\\r", "\t": "\\t"}
+
+
+def _escape_string(value: str) -> str:
+    out = []
+    for char in value:
+        escaped = _STRING_ESCAPES.get(char)
+        if escaped is not None:
+            out.append(escaped)
+        elif char.isprintable():
+            out.append(char)
+        else:
+            # Non-printable characters include every code point
+            # ``str.splitlines`` treats as a line boundary (\x0b, \x0c,
+            # \x85,  , ...) — they MUST be escaped or the line-based
+            # delta format (and the WAL built on it) would split the fact.
+            code = ord(char)
+            out.append(f"\\u{code:04x}" if code <= 0xFFFF else f"\\U{code:08x}")
+    return "".join(out)
+
+
 def _value_to_text(value: Any) -> str:
+    """One value as a datalog term that parses back to an equal value.
+
+    Strings are quoted with backslash escapes; bools are written as ints
+    (``True == 1`` in Python, so row equality is preserved); floats use
+    ``repr`` (shortest exact form, exponents included).  Values the datalog
+    syntax cannot express — non-finite floats, Skolem values, arbitrary
+    objects — raise :class:`SchemaError` so a delta that cannot round-trip
+    fails loudly at serialization time, not at WAL replay.
+    """
     if isinstance(value, str):
-        return f'"{value}"'
-    return str(value)
+        return f'"{_escape_string(value)}"'
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise SchemaError(
+                f"non-finite float {value!r} cannot be written as delta text"
+            )
+        return repr(value)
+    raise SchemaError(
+        f"value {value!r} of type {type(value).__name__} cannot be written "
+        "as delta text (only str, bool, int and finite float round-trip)"
+    )
 
 
 def parse_delta(text: str) -> Delta:

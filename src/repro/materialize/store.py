@@ -47,10 +47,26 @@ from repro.materialize.counting import (
 from repro.materialize.delta import Delta, Row
 
 
-class MaterializedViewStore:
-    """Materialized extents of a view set over a live base database."""
+#: Version tag of the exported-state structure (bumped on layout change).
+STATE_FORMAT = 1
 
-    def __init__(self, views: "ViewSet | Iterable[View]", database: Database):
+
+class MaterializedViewStore:
+    """Materialized extents of a view set over a live base database.
+
+    ``state`` may carry a previously :meth:`export_state`-ed set of
+    derivation counters taken against *exactly* the current base database
+    (the recovery path's contract); views present in it skip the initial
+    full computation.  An unusable state is ignored — the store falls back
+    to :meth:`materialize`, its normal self-heal.
+    """
+
+    def __init__(
+        self,
+        views: "ViewSet | Iterable[View]",
+        database: Database,
+        state: Optional[Dict[str, Any]] = None,
+    ):
         self._views: ViewSet = views if isinstance(views, ViewSet) else ViewSet(list(views))
         self._database = database
         #: predicate name -> names of views whose definitions mention it.
@@ -67,7 +83,9 @@ class MaterializedViewStore:
         self.views_recomputed = 0
         self.views_skipped = 0
         self.full_refreshes = 0
-        self.materialize()
+        self.restored_views = 0
+        if state is None or not self._restore_state(state):
+            self.materialize()
 
     # -- accessors ---------------------------------------------------------------
     @property
@@ -187,6 +205,46 @@ class MaterializedViewStore:
             self._instance.add_fact(view.name, row)
         return ViewChange(view.name, inserted, removed, strategy)
 
+    # -- checkpoint state ---------------------------------------------------------
+    def export_state(self) -> Dict[str, Any]:
+        """A picklable image of the derivation counters (for snapshots).
+
+        Valid only against the base database as it is *right now*; the
+        storage layer records the matching WAL sequence number alongside it.
+        """
+        self._ensure_fresh()
+        return {
+            "format": STATE_FORMAT,
+            "counts": {
+                name: dict(counts) for name, counts in self._counts.items()
+            },
+        }
+
+    def _restore_state(self, state: Dict[str, Any]) -> bool:
+        """Adopt exported counters instead of computing; False when unusable."""
+        if not isinstance(state, dict) or state.get("format") != STATE_FORMAT:
+            return False
+        counts_by_view = state.get("counts")
+        if not isinstance(counts_by_view, dict):
+            return False
+        self._instance = Database()
+        self._counts = {}
+        for view in self._views:
+            self._instance.ensure_relation(view.name, view.arity)
+            saved = counts_by_view.get(view.name)
+            if saved is None:
+                # A view added since the snapshot: compute it the normal way.
+                self._recompute_view(view)
+                self.views_recomputed += 1
+                continue
+            counter = Counter({tuple(row): int(n) for row, n in saved.items()})
+            self._counts[view.name] = counter
+            for row in counter:
+                self._instance.add_fact(view.name, row)
+            self.restored_views += 1
+        self._db_version = self._database.version
+        return True
+
     # -- freshness ----------------------------------------------------------------
     def is_stale(self) -> bool:
         """Whether the base database changed behind the store's back."""
@@ -209,6 +267,7 @@ class MaterializedViewStore:
             "views_recomputed": self.views_recomputed,
             "views_skipped": self.views_skipped,
             "full_refreshes": self.full_refreshes,
+            "restored_views": self.restored_views,
             "base_version": self._db_version,
         }
 

@@ -272,15 +272,18 @@ class ReproServer:
 
     # -- GET endpoints -------------------------------------------------------------
     def _get_healthz(self, handler: BaseHTTPRequestHandler) -> str:
-        self._send_json(
-            handler,
-            200,
-            {
-                "status": "draining" if self.draining else "ok",
-                "inflight": self._pending,
-                "workers": self.workers,
-            },
-        )
+        body = {
+            "status": "draining" if self.draining else "ok",
+            "inflight": self._pending,
+            "workers": self.workers,
+        }
+        with self._engine_lock:
+            storage = self._engine.storage_status()
+        if storage is not None:
+            # Durable engines surface backend identity and WAL lag so load
+            # balancers can see an unsynced or recovering replica.
+            body["storage"] = storage
+        self._send_json(handler, 200, body)
         return "ok"
 
     def _get_stats(self, handler: BaseHTTPRequestHandler) -> str:

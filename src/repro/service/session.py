@@ -627,6 +627,36 @@ class RewritingSession:
     def _materialized_instance(self) -> Database:
         return self._view_store().as_database()
 
+    # -- checkpoint state (the storage layer's hooks) -------------------------------
+    def export_store_state(self) -> Optional[Dict[str, Any]]:
+        """The view store's exported counters, or None when nothing is live.
+
+        Used by checkpointing: a snapshot that carries this state restores
+        without recomputing any extent.  Only meaningful together with the
+        base database as it is right now.  Returns None when no store has
+        been materialized — checkpointing then records no view state rather
+        than forcing a full materialization.
+        """
+        if self._database is None or self._store is None:
+            return None
+        return self._view_store().export_state()
+
+    def restore_store_state(self, state: Optional[Dict[str, Any]]) -> bool:
+        """Build the view store from checkpointed counters (recovery path).
+
+        Returns True when the state was adopted; an unusable state falls
+        back to normal materialization (the store's own self-heal) and
+        returns False.  Must be called before any delta or query touches
+        the session.
+        """
+        if self._database is None or state is None:
+            return False
+        store = MaterializedViewStore(self._views, self._database, state=state)
+        adopted = store.restored_views > 0 or not len(self._views)
+        self._store = store
+        self._db_version = self._database.version
+        return adopted
+
     # -- containment --------------------------------------------------------------
     def contained_cached(self, left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
         """Cached ``left ⊑ right`` (sound: containment is renaming-invariant)."""
@@ -673,5 +703,17 @@ class RewritingSession:
             # shared by every engine in the process (see _SessionStats).
             "global.containment_memo": containment_memo_stats(),
             "view_index": self._index.stats() if self._index is not None else None,
+            "storage": self._storage_stats(),
             "metrics": self._obs.snapshot() if self._obs is not None else None,
         })
+
+    def _storage_stats(self) -> Optional[Dict[str, Any]]:
+        """Physical storage counters: per-relation layout, backend when present."""
+        if self._database is None:
+            return None
+        stats: Dict[str, Any] = {"relations": self._database.storage_stats()}
+        backend = getattr(self._database, "backend", None)
+        if backend is not None:
+            stats["backend"] = backend.capabilities.to_dict()
+            stats["hydrations"] = getattr(self._database, "hydrations", 0)
+        return stats

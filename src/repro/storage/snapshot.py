@@ -1,0 +1,177 @@
+"""Checkpoint files: base extents plus view-store state, atomically written.
+
+A snapshot captures everything recovery needs to skip the WAL prefix up to
+its sequence number:
+
+* magic ``b"RSNAP1\\n"``;
+* a u32 header length followed by a JSON header
+  ``{"format": 1, "seq": <wal seq>, "version": <db version>}``;
+* a u64 payload length, the payload's CRC-32 (u32), then the pickled
+  payload ``{"relations": {name: (arity, [rows...])}, "store": state}``
+  where ``store`` is :meth:`MaterializedViewStore.export_state` output or
+  ``None`` when no store existed at checkpoint time.
+
+Snapshots are written atomically — temp file, fsync, rename to
+``snapshot-<seq:016d>.snap``, fsync the directory — so a crash mid-write
+leaves either the old snapshot set or the new one, never a half file.
+Older snapshots are pruned after a successful write (the latest is always
+kept); a snapshot that fails to read raises
+:class:`~repro.errors.SnapshotError`, which recovery treats as "try the
+next older one, else replay the whole WAL".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import re
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import SnapshotError
+
+MAGIC = b"RSNAP1\n"
+FORMAT = 1
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_FILE_RE = re.compile(r"snapshot-(\d{16})\.snap\Z")
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One loaded checkpoint."""
+
+    seq: int
+    version: int
+    relations: Dict[str, Tuple[int, List[Tuple[Any, ...]]]]
+    store_state: Optional[Dict[str, Any]]
+    path: str
+    size_bytes: int
+
+
+def snapshot_path(directory: str, seq: int) -> str:
+    return os.path.join(directory, f"snapshot-{seq:016d}.snap")
+
+
+def list_snapshots(directory: str) -> List[Tuple[int, str]]:
+    """(seq, path) for every snapshot file, newest first."""
+    out: List[Tuple[int, str]] = []
+    if not os.path.isdir(directory):
+        return out
+    for entry in os.listdir(directory):
+        match = _FILE_RE.match(entry)
+        if match is not None:
+            out.append((int(match.group(1)), os.path.join(directory, entry)))
+    out.sort(reverse=True)
+    return out
+
+
+def latest_snapshot(directory: str) -> Optional[Tuple[int, str]]:
+    """The newest snapshot's (seq, path), or None."""
+    snapshots = list_snapshots(directory)
+    return snapshots[0] if snapshots else None
+
+
+def write_snapshot(
+    directory: str,
+    seq: int,
+    version: int,
+    relations: Dict[str, Tuple[int, List[Tuple[Any, ...]]]],
+    store_state: Optional[Dict[str, Any]] = None,
+    prune: bool = True,
+) -> Tuple[str, int]:
+    """Atomically write a checkpoint; returns (path, size in bytes)."""
+    os.makedirs(directory, exist_ok=True)
+    header = json.dumps({"format": FORMAT, "seq": seq, "version": version}).encode(
+        "utf-8"
+    )
+    payload = pickle.dumps(
+        {"relations": relations, "store": store_state},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    final = snapshot_path(directory, seq)
+    temp = final + ".tmp"
+    with open(temp, "wb") as handle:
+        handle.write(MAGIC)
+        handle.write(_U32.pack(len(header)))
+        handle.write(header)
+        handle.write(_U64.pack(len(payload)))
+        handle.write(_U32.pack(zlib.crc32(payload)))
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, final)
+    _fsync_dir(directory)
+    size = os.path.getsize(final)
+    if prune:
+        for other_seq, other_path in list_snapshots(directory):
+            if other_path != final:
+                try:
+                    os.remove(other_path)
+                except OSError:
+                    pass
+    return final, size
+
+
+def read_snapshot(path: str) -> Snapshot:
+    """Load one checkpoint file; any malformation raises :class:`SnapshotError`."""
+    try:
+        with open(path, "rb") as handle:
+            magic = handle.read(len(MAGIC))
+            if magic != MAGIC:
+                raise SnapshotError(
+                    f"{path} does not start with the snapshot magic (found {magic!r})"
+                )
+            header_len_raw = handle.read(_U32.size)
+            if len(header_len_raw) < _U32.size:
+                raise SnapshotError(f"{path}: truncated header length")
+            (header_len,) = _U32.unpack(header_len_raw)
+            header_raw = handle.read(header_len)
+            if len(header_raw) < header_len:
+                raise SnapshotError(f"{path}: truncated header")
+            try:
+                header = json.loads(header_raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise SnapshotError(f"{path}: unreadable header ({exc})") from exc
+            if header.get("format") != FORMAT:
+                raise SnapshotError(
+                    f"{path}: unsupported snapshot format {header.get('format')!r}"
+                )
+            length_raw = handle.read(_U64.size)
+            crc_raw = handle.read(_U32.size)
+            if len(length_raw) < _U64.size or len(crc_raw) < _U32.size:
+                raise SnapshotError(f"{path}: truncated payload framing")
+            (payload_len,) = _U64.unpack(length_raw)
+            (crc,) = _U32.unpack(crc_raw)
+            payload = handle.read(payload_len)
+            if len(payload) < payload_len:
+                raise SnapshotError(f"{path}: truncated payload")
+            if zlib.crc32(payload) != crc:
+                raise SnapshotError(f"{path}: payload CRC mismatch")
+            try:
+                data = pickle.loads(payload)
+            except Exception as exc:  # pickle raises a zoo of types
+                raise SnapshotError(f"{path}: unreadable payload ({exc})") from exc
+    except OSError as exc:
+        raise SnapshotError(f"{path}: {exc}") from exc
+    if not isinstance(data, dict) or "relations" not in data:
+        raise SnapshotError(f"{path}: payload is not a snapshot body")
+    return Snapshot(
+        seq=int(header["seq"]),
+        version=int(header.get("version", 0)),
+        relations=data["relations"],
+        store_state=data.get("store"),
+        path=path,
+        size_bytes=os.path.getsize(path),
+    )
+
+
+def _fsync_dir(directory: str) -> None:
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

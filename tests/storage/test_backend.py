@@ -1,0 +1,162 @@
+"""Contract tests every storage backend must pass, run against both backends.
+
+The protocol promises (see :class:`repro.storage.backend.StorageBackend`):
+set-semantics insert/delete with accurate new/present counts, scans of
+unknown relations yielding nothing, mutations of unknown relations raising,
+idempotent relation creation with arity-conflict detection, and a metadata
+table.  The sqlite adapter additionally promises value-encoding fidelity
+(heterogeneous Python values round-trip with equality intact) and rollback
+on a failed transaction.
+"""
+
+import pytest
+
+from repro.engine.relation import SkolemValue
+from repro.errors import StorageError
+from repro.storage import MemoryBackend, make_backend
+from repro.storage.sqlite import SQLiteBackend, decode_value, encode_value
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        instance = MemoryBackend()
+    else:
+        instance = SQLiteBackend(str(tmp_path / "data.sqlite"))
+    yield instance
+    instance.close()
+
+
+class TestContract:
+    def test_create_insert_scan_roundtrip(self, backend):
+        backend.create_relation("r", 2)
+        assert backend.insert("r", 2, [("a", 1), ("b", 2), ("a", 1)]) == 2
+        assert sorted(backend.scan("r"), key=repr) == [("a", 1), ("b", 2)]
+        assert backend.count("r") == 2
+        assert backend.arity("r") == 2
+
+    def test_create_is_idempotent_but_arity_conflicts_raise(self, backend):
+        backend.create_relation("r", 2)
+        backend.create_relation("r", 2)
+        with pytest.raises(StorageError):
+            backend.create_relation("r", 3)
+
+    def test_delete_returns_actually_present_count(self, backend):
+        backend.create_relation("r", 1)
+        backend.insert("r", 1, [("a",), ("b",)])
+        assert backend.delete("r", [("a",), ("missing",)]) == 1
+        assert backend.count("r") == 1
+
+    def test_unknown_relation_scans_empty_and_mutations_raise(self, backend):
+        assert list(backend.scan("nope")) == []
+        assert backend.count("nope") == 0
+        with pytest.raises(StorageError):
+            backend.delete("nope", [("a",)])
+        with pytest.raises(StorageError):
+            backend.arity("nope")
+
+    def test_drop_relation(self, backend):
+        backend.create_relation("r", 1)
+        backend.insert("r", 1, [("a",)])
+        backend.drop_relation("r")
+        assert "r" not in backend.relation_names()
+        assert list(backend.scan("r")) == []
+        backend.drop_relation("r")  # missing names are a no-op
+
+    def test_filtered_scan_matches_python_filter(self, backend):
+        backend.create_relation("r", 3)
+        rows = [("a", 1, "x"), ("a", 2, "y"), ("b", 1, "x")]
+        backend.insert("r", 3, rows)
+        expected = sorted(
+            (row for row in rows if row[0] == "a" and row[2] == "x"), key=repr
+        )
+        got = sorted(backend.scan("r", bindings={0: "a", 2: "x"}), key=repr)
+        assert got == expected
+
+    def test_meta_roundtrip(self, backend):
+        assert backend.get_meta("applied_seq") is None
+        backend.set_meta("applied_seq", "17")
+        assert backend.get_meta("applied_seq") == "17"
+        backend.set_meta("applied_seq", "18")
+        assert backend.get_meta("applied_seq") == "18"
+
+    def test_numeric_equality_dedup_matches_python(self, backend):
+        # True == 1 and 2.0 == 2 in Python; a backend must not hold both.
+        backend.create_relation("r", 1)
+        assert backend.insert("r", 1, [(1,), (True,)]) == 1
+        assert backend.insert("r", 1, [(2,), (2.0,)]) == 1
+        assert backend.count("r") == 2
+
+    def test_closed_backend_rejects_mutations(self, backend):
+        backend.create_relation("r", 1)
+        backend.close()
+        with pytest.raises(StorageError):
+            backend.insert("r", 1, [("a",)])
+        backend.close()  # close must tolerate repeated calls
+
+
+class TestSQLiteSpecifics:
+    def test_values_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "data.sqlite")
+        values = ("text", 0, -3, 2.5, True, SkolemValue("f", (1, "x")))
+        backend = SQLiteBackend(path)
+        backend.create_relation("r", len(values))
+        backend.insert("r", len(values), [values])
+        backend.set_meta("applied_seq", "5")
+        backend.close()
+
+        reopened = SQLiteBackend(path)
+        try:
+            [row] = list(reopened.scan("r"))
+            assert row == values
+            assert reopened.get_meta("applied_seq") == "5"
+            assert reopened.capabilities.persistent
+            assert reopened.capabilities.filter_pushdown
+        finally:
+            reopened.close()
+
+    def test_transaction_rolls_back_on_error(self, tmp_path):
+        backend = SQLiteBackend(str(tmp_path / "data.sqlite"))
+        try:
+            backend.create_relation("r", 1)
+            backend.insert("r", 1, [("keep",)])
+            with pytest.raises(RuntimeError):
+                with backend.transaction():
+                    backend.insert("r", 1, [("doomed",)])
+                    raise RuntimeError("boom")
+            assert list(backend.scan("r")) == [("keep",)]
+        finally:
+            backend.close()
+
+    def test_malicious_relation_name_rejected(self, tmp_path):
+        backend = SQLiteBackend(str(tmp_path / "data.sqlite"))
+        try:
+            with pytest.raises(StorageError):
+                backend.create_relation('r"; DROP TABLE repro_meta; --', 1)
+        finally:
+            backend.close()
+
+    def test_encode_decode_roundtrip_for_each_type(self):
+        nested = SkolemValue("g", (SkolemValue("f", (1,)), "s"))
+        for value in ("plain", "", "i123", 7, -7, 2.5, nested):
+            assert decode_value(encode_value(value)) == value
+        assert decode_value(encode_value(True)) == 1
+        assert decode_value(encode_value(3.0)) == 3
+
+    def test_nan_and_unsupported_types_raise(self):
+        with pytest.raises(StorageError):
+            encode_value(float("nan"))
+        with pytest.raises(StorageError):
+            encode_value(object())
+
+
+def test_make_backend_registry(tmp_path):
+    memory = make_backend("memory")
+    assert memory.capabilities.name == "memory"
+    sqlite = make_backend("sqlite", str(tmp_path / "x.sqlite"))
+    try:
+        assert sqlite.capabilities.name == "sqlite"
+    finally:
+        sqlite.close()
+    with pytest.raises(StorageError):
+        make_backend("papyrus")

@@ -26,7 +26,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SNAPSHOT = REPO_ROOT / "tools" / "api_surface.txt"
 
 #: The modules whose ``__all__`` make up the public surface.
-MODULES = ("repro", "repro.api", "repro.obs", "repro.server")
+MODULES = ("repro", "repro.api", "repro.obs", "repro.server", "repro.storage")
 
 HEADER = """\
 # The public API surface of the repro package — one `module:name` per line.
